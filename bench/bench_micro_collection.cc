@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) for the collection hot paths: the
+// interrupt handler's hash-table record, the Carta period randomizer, the
+// daemon's PC-to-image resolution, and profile serialization.
+//
+// These are host-time measurements of the real data structures; the paper's
+// cycle costs (Table 4) are modelled separately, but the *ratios* (hit vs
+// miss, aggregation benefit) should echo here.
+
+#include <benchmark/benchmark.h>
+
+#include "src/driver/hash_table.h"
+#include "src/profiledb/database.h"
+#include "src/support/rng.h"
+
+namespace dcpi {
+namespace {
+
+void BM_CartaRngNext(benchmark::State& state) {
+  CartaRng rng(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformInRange(60 * 1024, 64 * 1024));
+  }
+}
+BENCHMARK(BM_CartaRngNext);
+
+void BM_HashTableRecordHit(benchmark::State& state) {
+  SampleHashTable table(HashTableConfig{});
+  SampleKey key{42, 0x120001000, EventType::kCycles};
+  table.Record(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Record(key));
+  }
+}
+BENCHMARK(BM_HashTableRecordHit);
+
+void BM_HashTableRecordMissStream(benchmark::State& state) {
+  // Streaming distinct keys: every access misses and (once warm) evicts,
+  // the gcc-like worst case.
+  SampleHashTable table(HashTableConfig{});
+  uint64_t pc = 0;
+  for (auto _ : state) {
+    SampleKey key{static_cast<uint32_t>(pc >> 18), 0x120000000 + (pc << 2),
+                  EventType::kCycles};
+    benchmark::DoNotOptimize(table.Record(key));
+    ++pc;
+  }
+}
+BENCHMARK(BM_HashTableRecordMissStream);
+
+void BM_HashTableRecordLocalitySet(benchmark::State& state) {
+  // A working set matching real workload locality (the paper's 20x
+  // aggregation): a few hundred hot PCs.
+  SampleHashTable table(HashTableConfig{});
+  SplitMix64 rng(7);
+  std::vector<SampleKey> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back({7, 0x120000000 + rng.NextBelow(4096) * 4, EventType::kCycles});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Record(keys[i++ % keys.size()]));
+  }
+  state.counters["miss_rate"] = table.stats().MissRate();
+}
+BENCHMARK(BM_HashTableRecordLocalitySet);
+
+void BM_ProfileSerializeVarint(benchmark::State& state) {
+  ImageProfile profile("bench", EventType::kCycles, 62000);
+  SplitMix64 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    profile.AddSamples(rng.NextBelow(65536) * 4, 1 + rng.NextBelow(1000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeProfile(profile));
+  }
+  state.counters["bytes"] = static_cast<double>(SerializeProfile(profile).size());
+  state.counters["fixed_bytes"] =
+      static_cast<double>(SerializeProfileFixedWidth(profile).size());
+}
+BENCHMARK(BM_ProfileSerializeVarint);
+
+}  // namespace
+}  // namespace dcpi
+
+BENCHMARK_MAIN();

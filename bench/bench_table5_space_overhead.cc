@@ -1,0 +1,58 @@
+// Table 5: daemon space overhead (memory and profile-database disk usage).
+//
+// Paper: 512 KB of non-pageable kernel memory per CPU (hash table + two
+// overflow buffers); daemon resident memory of a few MB growing with the
+// number of active processes and images; on-disk profiles of a few hundred
+// KB to a few MB, an order of magnitude smaller than the images, growing
+// from cycles -> default -> mux as more event types are stored.
+//
+// Expected shape here: the same 512 KB/CPU kernel footprint, daemon memory
+// largest for the many-process workloads, and disk usage increasing with
+// the number of monitored events.
+
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "src/support/text_table.h"
+
+using namespace dcpi;
+using namespace dcpi::bench;
+
+int main() {
+  PrintHeader("bench_table5_space_overhead: daemon memory and profile disk usage",
+              "Table 5 (Section 5.3)");
+
+  const ProfilingMode kModes[] = {ProfilingMode::kCycles, ProfilingMode::kDefault,
+                                  ProfilingMode::kMux};
+
+  for (ProfilingMode mode : kModes) {
+    std::printf("--- configuration: %s ---\n", ProfilingModeName(mode));
+    TextTable table;
+    table.SetHeader({"workload", "kernel mem/cpu (KB)", "daemon mem (KB)",
+                     "disk (KB)", "profiled images"});
+    size_t num_workloads = WorkloadFactory(0.2).Table2Suite().size();
+    for (size_t w = 0; w < num_workloads; ++w) {
+      WorkloadFactory factory(/*scale=*/0.2, /*seed=*/1);
+      Workload workload = factory.Table2Suite()[w];
+      std::string db_root = "/tmp/dcpi_bench_t5_db";
+      std::filesystem::remove_all(db_root);
+      RunSpec spec;
+      spec.mode = mode;
+      spec.period_scale = 1.0 / 4;  // denser sampling: short runs, real files
+      spec.db_root = db_root;
+      RunOutput out = RunProfiled(workload, spec);
+      uint64_t kernel_kb = out.system->driver()->KernelMemoryBytesPerCpu() / 1024;
+      uint64_t daemon_kb = out.system->daemon()->MemoryUsageBytes() / 1024;
+      double disk_kb = static_cast<double>(out.system->database()->DiskUsageBytes()) / 1024.0;
+      auto files = out.system->database()->ListProfiles(0);
+      size_t num_files = files.ok() ? files.value().size() : 0;
+      table.AddRow({workload.name, std::to_string(kernel_kb), std::to_string(daemon_kb),
+                    TextTable::Fixed(disk_kb, 1), std::to_string(num_files)});
+      std::filesystem::remove_all(db_root);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("paper: 512 KB/CPU kernel memory; daemon 1.5-11 MB; disk 0.1-6 MB\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the table/figure reproduction benchmarks.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/tools/toolkit.h"
+#include "src/workloads/workloads.h"
+
+namespace dcpi {
+namespace bench {
+
+struct RunSpec {
+  ProfilingMode mode = ProfilingMode::kBase;
+  double period_scale = 1.0;  // 1.0 = the paper's 60K-64K CYCLES period
+  // Analysis benches densify sampling to emulate long runs; they zero the
+  // handler cost so the denser interrupts do not distort the timing they
+  // are trying to measure (see SystemConfig::free_profiling).
+  bool free_profiling = false;
+  uint32_t num_cpus = 0;      // 0 = workload default
+  uint64_t kernel_seed = 1;
+  uint32_t rng_seed = 1;
+  std::string db_root;
+};
+
+struct RunOutput {
+  std::unique_ptr<System> system;
+  SystemResult result;
+};
+
+inline RunOutput RunProfiled(const Workload& workload, const RunSpec& spec) {
+  RunOutput output;
+  SystemConfig config;
+  config.kernel.num_cpus = spec.num_cpus != 0 ? spec.num_cpus
+                                              : std::max(1u, workload.num_cpus);
+  config.kernel.seed = spec.kernel_seed;
+  config.mode = spec.mode;
+  config.period_scale = spec.period_scale;
+  config.free_profiling = spec.free_profiling;
+  config.rng_seed = spec.rng_seed;
+  config.db_root = spec.db_root;
+  output.system = std::make_unique<System>(config);
+  Status status = workload.Instantiate(output.system.get());
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: workload %s failed to instantiate: %s\n",
+                 workload.name.c_str(), status.ToString().c_str());
+    std::exit(1);
+  }
+  output.result = output.system->Run();
+  if (output.result.had_error) {
+    std::fprintf(stderr, "FATAL: workload %s had a process error\n",
+                 workload.name.c_str());
+    std::exit(1);
+  }
+  return output;
+}
+
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace dcpi
+
+#endif  // BENCH_BENCH_UTIL_H_

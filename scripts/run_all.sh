@@ -1,0 +1,5 @@
+#!/bin/sh
+# Regenerates every paper table/figure and the test log (README workflow).
+set -x
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt

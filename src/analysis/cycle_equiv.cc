@@ -1,0 +1,227 @@
+#include "src/analysis/cycle_equiv.h"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace dcpi {
+
+namespace {
+
+constexpr int kNone = std::numeric_limits<int>::max();
+
+// An intrusive doubly-linked bracket list supporting O(1) concat and O(1)
+// deletion by node pointer.
+struct BracketNode {
+  int bracket_id = 0;  // real edge id, or capping id >= num_real_edges
+  BracketNode* prev = nullptr;
+  BracketNode* next = nullptr;
+  bool linked = false;
+};
+
+struct BracketList {
+  BracketNode* head = nullptr;  // top of the list
+  BracketNode* tail = nullptr;
+  int size = 0;
+
+  void Push(BracketNode* node) {
+    node->prev = nullptr;
+    node->next = head;
+    node->linked = true;
+    if (head != nullptr) head->prev = node;
+    head = node;
+    if (tail == nullptr) tail = node;
+    ++size;
+  }
+
+  void Concat(BracketList* other) {
+    // Children's brackets go *under* this node's own pushes; order among
+    // children is irrelevant. Append `other` at the tail.
+    if (other->head == nullptr) return;
+    if (head == nullptr) {
+      *this = *other;
+    } else {
+      tail->next = other->head;
+      other->head->prev = tail;
+      tail = other->tail;
+      size += other->size;
+    }
+    other->head = other->tail = nullptr;
+    other->size = 0;
+  }
+
+  void Remove(BracketNode* node) {
+    if (!node->linked) return;
+    if (node->prev != nullptr) node->prev->next = node->next;
+    if (node->next != nullptr) node->next->prev = node->prev;
+    if (head == node) head = node->next;
+    if (tail == node) tail = node->prev;
+    node->linked = false;
+    --size;
+  }
+};
+
+}  // namespace
+
+std::vector<int> CycleEquivalence(int num_nodes,
+                                  const std::vector<std::pair<int, int>>& edges) {
+  const int num_edges = static_cast<int>(edges.size());
+  std::vector<int> edge_class(num_edges, -1);
+  if (num_nodes == 0 || num_edges == 0) return edge_class;
+
+  int next_class = 0;
+
+  // Adjacency with edge ids.
+  std::vector<std::vector<std::pair<int, int>>> adj(num_nodes);  // (neighbor, edge)
+  for (int e = 0; e < num_edges; ++e) {
+    auto [u, v] = edges[e];
+    if (u == v) {
+      // Self-loop: its own class; keep it out of the DFS.
+      edge_class[e] = next_class++;
+      continue;
+    }
+    adj[u].push_back({v, e});
+    adj[v].push_back({u, e});
+  }
+
+  // ---- Undirected DFS from node 0 ----
+  std::vector<int> dfsnum(num_nodes, -1);
+  std::vector<int> parent_edge(num_nodes, -1);
+  std::vector<int> parent(num_nodes, -1);
+  std::vector<int> order;  // preorder
+  std::vector<bool> is_tree_edge(num_edges, false);
+  std::vector<bool> edge_seen(num_edges, false);
+  // Backedges recorded as (descendant, ancestor).
+  std::vector<std::vector<int>> backedges_from(num_nodes);  // starting (lower) node
+  std::vector<std::vector<int>> backedges_to(num_nodes);    // ending (upper) node
+  std::vector<int> backedge_ancestor(num_edges, -1);
+
+  {
+    std::vector<std::pair<int, std::size_t>> stack;  // (node, adjacency cursor)
+    dfsnum[0] = 0;
+    order.push_back(0);
+    stack.push_back({0, 0});
+    int counter = 1;
+    while (!stack.empty()) {
+      auto& [u, cursor] = stack.back();
+      if (cursor >= adj[u].size()) {
+        stack.pop_back();
+        continue;
+      }
+      auto [v, e] = adj[u][cursor++];
+      if (e == parent_edge[u] || edge_seen[e]) continue;
+      if (dfsnum[v] == -1) {
+        edge_seen[e] = true;
+        is_tree_edge[e] = true;
+        dfsnum[v] = counter++;
+        parent_edge[v] = e;
+        parent[v] = u;
+        order.push_back(v);
+        stack.push_back({v, 0});
+      } else {
+        // Non-tree edge; record once, oriented descendant -> ancestor.
+        edge_seen[e] = true;
+        int desc = dfsnum[u] > dfsnum[v] ? u : v;
+        int anc = desc == u ? v : u;
+        backedges_from[desc].push_back(e);
+        backedges_to[anc].push_back(e);
+        backedge_ancestor[e] = anc;
+      }
+    }
+  }
+
+  // The caller promises a connected graph; tolerate stray components by
+  // giving their edges singleton classes.
+  for (int e = 0; e < num_edges; ++e) {
+    auto [u, v] = edges[e];
+    if (u != v && (dfsnum[u] == -1 || dfsnum[v] == -1)) {
+      edge_class[e] = next_class++;
+    }
+  }
+
+  // ---- Bracket bookkeeping ----
+  // Capping brackets get ids >= num_edges; each node creates at most one.
+  const int max_brackets = num_edges + num_nodes;
+  std::vector<BracketNode> nodes_storage(max_brackets);
+  for (int i = 0; i < max_brackets; ++i) nodes_storage[i].bracket_id = i;
+  std::vector<int> recent_size(max_brackets, -1);
+  std::vector<int> recent_class(max_brackets, -1);
+  std::vector<std::vector<int>> capping_to(num_nodes);  // capping brackets ending at node
+  int next_capping = num_edges;
+
+  std::vector<BracketList> blists(num_nodes);
+  std::vector<int> hi(num_nodes, kNone);
+  std::vector<int> node_with_dfsnum(num_nodes, -1);
+  for (int v = 0; v < num_nodes; ++v) {
+    if (dfsnum[v] >= 0) node_with_dfsnum[dfsnum[v]] = v;
+  }
+  std::vector<std::vector<int>> children(num_nodes);
+  for (int v : order) {
+    if (parent[v] != -1) children[parent[v]].push_back(v);
+  }
+
+  // Process in reverse preorder (children before parents).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int n = *it;
+
+    // hi0: lowest dfsnum over backedges starting at n.
+    int hi0 = kNone;
+    for (int e : backedges_from[n]) {
+      hi0 = std::min(hi0, dfsnum[backedge_ancestor[e]]);
+    }
+    // hi1 / hi2: lowest and second-lowest hi among children.
+    int hi1 = kNone, hi2 = kNone;
+    for (int c : children[n]) {
+      if (hi[c] < hi1) {
+        hi2 = hi1;
+        hi1 = hi[c];
+      } else {
+        hi2 = std::min(hi2, hi[c]);
+      }
+    }
+    hi[n] = std::min(hi0, hi1);
+
+    BracketList& blist = blists[n];
+    for (int c : children[n]) blist.Concat(&blists[c]);
+    for (int d : capping_to[n]) blist.Remove(&nodes_storage[d]);
+    for (int e : backedges_to[n]) {
+      blist.Remove(&nodes_storage[e]);
+      if (edge_class[e] == -1) edge_class[e] = next_class++;
+    }
+    for (int e : backedges_from[n]) blist.Push(&nodes_storage[e]);
+    if (hi2 < dfsnum[n]) {
+      // Create a capping bracket from n up to the node with dfsnum hi2.
+      int d = next_capping++;
+      assert(d < max_brackets);
+      blist.Push(&nodes_storage[d]);
+      capping_to[node_with_dfsnum[hi2]].push_back(d);
+    }
+
+    // Assign the class of n's parent tree edge.
+    if (parent_edge[n] != -1) {
+      int e = parent_edge[n];
+      if (blist.size == 0) {
+        // Bridge edge: singleton class.
+        edge_class[e] = next_class++;
+        continue;
+      }
+      BracketNode* b = blist.head;
+      if (recent_size[b->bracket_id] != blist.size) {
+        recent_size[b->bracket_id] = blist.size;
+        recent_class[b->bracket_id] = next_class++;
+      }
+      edge_class[e] = recent_class[b->bracket_id];
+      if (recent_size[b->bracket_id] == 1 && b->bracket_id < num_edges) {
+        edge_class[b->bracket_id] = edge_class[e];
+      }
+    }
+  }
+
+  // Any remaining unclassified edges (shouldn't happen on valid input).
+  for (int e = 0; e < num_edges; ++e) {
+    if (edge_class[e] == -1) edge_class[e] = next_class++;
+  }
+  return edge_class;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,35 @@
+// Cycle equivalence of edges in an undirected multigraph.
+//
+// Two edges are cycle equivalent iff every cycle containing one contains
+// the other. The analysis (Section 6.1.2) uses this — via the
+// Johnson-Pearson-Pingali bracket-list algorithm the paper cites as [14] —
+// to group basic blocks and CFG edges into *frequency equivalence classes*:
+// after node-splitting the CFG (each block becomes an in/out vertex pair
+// joined by a "block edge") and closing the graph with an exit->entry edge,
+// cycle-equivalent edges are guaranteed to execute the same number of
+// times.
+//
+// The implementation follows the PLDI'94 formulation: undirected DFS,
+// per-node bracket lists (concatenate children, delete brackets ending
+// here, push backedges starting here, cap with hi2), and class assignment
+// from the topmost bracket with a (bracket, list-size) memo.
+
+#ifndef SRC_ANALYSIS_CYCLE_EQUIV_H_
+#define SRC_ANALYSIS_CYCLE_EQUIV_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dcpi {
+
+// Computes cycle-equivalence classes for the edges of a *connected*
+// undirected multigraph with `num_nodes` nodes. Returns one class id per
+// edge (same id <=> cycle equivalent). Bridge edges each get a singleton
+// class. Self-loops get singleton classes.
+std::vector<int> CycleEquivalence(int num_nodes,
+                                  const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace dcpi
+
+#endif  // SRC_ANALYSIS_CYCLE_EQUIV_H_

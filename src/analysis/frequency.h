@@ -1,0 +1,69 @@
+// Frequency estimation from CYCLES samples (Sections 6.1.2 - 6.1.5).
+//
+// The estimator factors each instruction's sample count S_i (proportional
+// to frequency x CPI) into its components:
+//   1. group blocks and edges into frequency equivalence classes: the CFG
+//      is node-split (block -> in/out vertex pair joined by a block edge),
+//      closed with an exit->entry edge, and edge cycle equivalence is
+//      computed (cycle-equivalent edges execute equally often);
+//   2. per class, estimate the frequency from the issue points (M_i > 0):
+//      in the absence of dynamic stalls S_i/M_i ~ F, so F is recovered by
+//      averaging a cluster of the smaller S_i/M_i ratios (ratios within
+//      1.5x of the cluster minimum), with the dependence-window refinement
+//      (sum S / sum M between an instruction and the instruction it
+//      statically depends on) and a sum-ratio fallback for classes with few
+//      samples;
+//   3. propagate estimates through the CFG flow constraints (block inflow =
+//      block frequency = block outflow) with a linear worklist pass;
+//   4. predict the accuracy of each estimate (low / medium / high).
+
+#ifndef SRC_ANALYSIS_FREQUENCY_H_
+#define SRC_ANALYSIS_FREQUENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/static_schedule.h"
+
+namespace dcpi {
+
+enum class Confidence : uint8_t { kNone = 0, kLow, kMedium, kHigh };
+
+const char* ConfidenceName(Confidence confidence);
+
+struct FrequencyTuning {
+  double cluster_width = 1.5;          // max ratio / min ratio within a cluster
+  double min_cluster_fraction = 0.25;  // of the class's issue points
+  uint64_t few_samples_threshold = 100;
+  double max_reasonable_stall = 500.0;  // implied cycles at another issue point
+  int max_propagation_passes = 64;
+  // Block-leading issue points absorb branch-mispredict and I-cache skid;
+  // when a class has enough other issue points, exclude the leaders from
+  // the ratio clustering.
+  size_t min_nonleading_points = 2;
+};
+
+struct FrequencyResult {
+  // Estimated execution counts over the profiled period.
+  std::vector<double> block_freq;        // per block
+  std::vector<Confidence> block_conf;
+  std::vector<double> edge_freq;         // per CFG edge
+  std::vector<Confidence> edge_conf;
+  // Equivalence classes (exposed for tests and tools).
+  std::vector<int> block_class;
+  std::vector<int> edge_class;
+};
+
+// `samples[k]` holds the CYCLES sample count of the k-th instruction of the
+// procedure; `period` is the mean sampling period in cycles (so frequency =
+// ratio * period). `schedules` are per-block static schedules.
+FrequencyResult EstimateFrequencies(const Cfg& cfg,
+                                    const std::vector<BlockSchedule>& schedules,
+                                    const std::vector<uint64_t>& samples,
+                                    double period,
+                                    const FrequencyTuning& tuning = FrequencyTuning());
+
+}  // namespace dcpi
+
+#endif  // SRC_ANALYSIS_FREQUENCY_H_

@@ -1,0 +1,31 @@
+#include "src/cpu/branch_predictor.h"
+
+namespace dcpi {
+
+bool BranchPredictor::PredictConditional(uint64_t pc, bool taken) {
+  ++stats_.cond_branches;
+  size_t index = (pc / kInstrBytes) % table_.size();
+  uint8_t& counter = table_[index];
+  bool predicted_taken = counter >= 2;
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  bool correct = predicted_taken == taken;
+  if (!correct) ++stats_.mispredicts;
+  return correct;
+}
+
+void BranchPredictor::PushReturn(uint64_t return_pc) {
+  ras_[ras_top_ % ras_.size()] = return_pc;
+  ++ras_top_;
+}
+
+bool BranchPredictor::PopReturnMatches(uint64_t actual_target) {
+  if (ras_top_ == 0) return false;
+  --ras_top_;
+  return ras_[ras_top_ % ras_.size()] == actual_target;
+}
+
+}  // namespace dcpi

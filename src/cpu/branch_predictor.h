@@ -1,0 +1,44 @@
+// Branch prediction: a table of 2-bit saturating counters for conditional
+// branches plus a small return-address stack for ret.
+
+#ifndef SRC_CPU_BRANCH_PREDICTOR_H_
+#define SRC_CPU_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace dcpi {
+
+struct PredictorStats {
+  uint64_t cond_branches = 0;
+  uint64_t mispredicts = 0;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(uint32_t table_entries = 2048, uint32_t ras_entries = 12)
+      : table_(table_entries, 1), ras_(ras_entries, 0) {}
+
+  // Records the outcome of a conditional branch and returns whether the
+  // prediction was correct.
+  bool PredictConditional(uint64_t pc, bool taken);
+
+  void PushReturn(uint64_t return_pc);
+
+  // Pops the RAS and returns whether it matches the actual target.
+  bool PopReturnMatches(uint64_t actual_target);
+
+  const PredictorStats& stats() const { return stats_; }
+
+ private:
+  std::vector<uint8_t> table_;  // 2-bit counters, init weakly-not-taken
+  std::vector<uint64_t> ras_;
+  uint32_t ras_top_ = 0;
+  PredictorStats stats_;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_CPU_BRANCH_PREDICTOR_H_

@@ -1,0 +1,43 @@
+// Performance-counter event types, matching the Alpha events the paper
+// monitors: CYCLES, IMISS, DMISS, BRANCHMP, plus DTBMISS (which Section 3.2
+// notes would let dcpicalc rule out DTB culprits).
+
+#ifndef SRC_CPU_EVENT_H_
+#define SRC_CPU_EVENT_H_
+
+#include <cstdint>
+
+namespace dcpi {
+
+enum class EventType : uint8_t {
+  kCycles = 0,
+  kImiss,
+  kDmiss,
+  kBranchMp,
+  kDtbMiss,
+  kEventTypeCount,
+};
+
+inline constexpr int kNumEventTypes = static_cast<int>(EventType::kEventTypeCount);
+
+inline const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kCycles:
+      return "cycles";
+    case EventType::kImiss:
+      return "imiss";
+    case EventType::kDmiss:
+      return "dmiss";
+    case EventType::kBranchMp:
+      return "branchmp";
+    case EventType::kDtbMiss:
+      return "dtbmiss";
+    case EventType::kEventTypeCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace dcpi
+
+#endif  // SRC_CPU_EVENT_H_

@@ -1,0 +1,51 @@
+// Execution context: what the CPU needs from the OS layer to run a process.
+//
+// The kernel (src/kernel) implements this for real processes; tests can
+// implement it directly with a flat memory.
+
+#ifndef SRC_CPU_EXEC_CONTEXT_H_
+#define SRC_CPU_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/isa/instruction.h"
+
+namespace dcpi {
+
+struct RegFile {
+  int64_t r[kNumIntRegs] = {};
+  double f[kNumFpRegs] = {};
+  uint64_t pc = 0;
+
+  int64_t ReadInt(uint8_t index) const { return index == kZeroReg ? 0 : r[index]; }
+  void WriteInt(uint8_t index, int64_t value) {
+    if (index != kZeroReg) r[index] = value;
+  }
+  double ReadFp(uint8_t index) const { return index == kZeroReg ? 0.0 : f[index]; }
+  void WriteFp(uint8_t index, double value) {
+    if (index != kZeroReg) f[index] = value;
+  }
+};
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  virtual uint32_t pid() const = 0;
+  virtual RegFile& regs() = 0;
+
+  // Data access (size in {4, 8}); returns false on unmapped addresses.
+  virtual bool LoadData(uint64_t vaddr, unsigned size, uint64_t* out) = 0;
+  virtual bool StoreData(uint64_t vaddr, unsigned size, uint64_t value) = 0;
+
+  // Physical address for cache indexing.
+  virtual uint64_t Translate(uint64_t vaddr) = 0;
+
+  // Predecoded instruction at `pc`; nullptr if pc is outside mapped text.
+  virtual const DecodedInst* FetchInstruction(uint64_t pc) = 0;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_CPU_EXEC_CONTEXT_H_

@@ -1,0 +1,85 @@
+#include "src/cpu/ground_truth.h"
+
+#include <algorithm>
+
+namespace dcpi {
+
+const char* StallCauseName(StallCause cause) {
+  switch (cause) {
+    case StallCause::kNone:
+      return "none";
+    case StallCause::kIcacheMiss:
+      return "icache";
+    case StallCause::kItbMiss:
+      return "itb";
+    case StallCause::kDcacheMiss:
+      return "dcache";
+    case StallCause::kDtbMiss:
+      return "dtb";
+    case StallCause::kWriteBuffer:
+      return "write-buffer";
+    case StallCause::kBranchMispredict:
+      return "branch-mispredict";
+    case StallCause::kImulBusy:
+      return "imul-busy";
+    case StallCause::kFdivBusy:
+      return "fdiv-busy";
+    case StallCause::kDependency:
+      return "dependency";
+    case StallCause::kSlotting:
+      return "slotting";
+    case StallCause::kSync:
+      return "sync";
+    case StallCause::kFetchWidth:
+      return "fetch-width";
+    case StallCause::kStallCauseCount:
+      break;
+  }
+  return "unknown";
+}
+
+void GroundTruth::AddImage(std::shared_ptr<const ExecutableImage> image) {
+  ImageTruth truth;
+  truth.instructions.resize(image->num_instructions());
+  truth.image = std::move(image);
+  images_.push_back(std::move(truth));
+  std::sort(images_.begin(), images_.end(), [](const ImageTruth& a, const ImageTruth& b) {
+    return a.image->text_base() < b.image->text_base();
+  });
+  last_hit_ = nullptr;
+}
+
+ImageTruth* GroundTruth::ImageForPc(uint64_t pc) {
+  if (last_hit_ != nullptr && last_hit_->image->ContainsPc(pc)) return last_hit_;
+  auto it = std::upper_bound(images_.begin(), images_.end(), pc,
+                             [](uint64_t value, const ImageTruth& t) {
+                               return value < t.image->text_base();
+                             });
+  if (it == images_.begin()) return nullptr;
+  --it;
+  if (!it->image->ContainsPc(pc)) return nullptr;
+  last_hit_ = &*it;
+  return last_hit_;
+}
+
+InstructionTruth* GroundTruth::ForPc(uint64_t pc) {
+  ImageTruth* truth = ImageForPc(pc);
+  if (truth == nullptr) return nullptr;
+  return &truth->instructions[(pc - truth->image->text_base()) / kInstrBytes];
+}
+
+void GroundTruth::AddEdge(uint64_t from_pc, uint64_t to_pc) {
+  ImageTruth* truth = ImageForPc(from_pc);
+  if (truth == nullptr || !truth->image->ContainsPc(to_pc)) return;
+  uint64_t base = truth->image->text_base();
+  ++truth->edges[{from_pc - base, to_pc - base}];
+}
+
+const ImageTruth* GroundTruth::FindImage(const ExecutableImage* image) const {
+  for (const auto& t : images_) {
+    if (t.image.get() == image) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,83 @@
+// Ground truth collected directly by the simulator: per-instruction
+// execution counts, head-of-issue-queue cycles, per-cause stall cycles, and
+// per-edge execution counts.
+//
+// This plays the role the paper's dcpix (pixie-like instrumentation) plays
+// in Section 6.2: an exact reference against which the sample-based
+// frequency estimates and culprit analysis are validated (Figures 8-10).
+// The analysis tools never read it.
+
+#ifndef SRC_CPU_GROUND_TRUTH_H_
+#define SRC_CPU_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/isa/image.h"
+
+namespace dcpi {
+
+enum class StallCause : uint8_t {
+  kNone = 0,
+  kIcacheMiss,
+  kItbMiss,
+  kDcacheMiss,   // dependency on an outstanding load miss
+  kDtbMiss,
+  kWriteBuffer,
+  kBranchMispredict,
+  kImulBusy,
+  kFdivBusy,
+  kDependency,   // operand not ready (non-miss latency)
+  kSlotting,
+  kSync,         // memory-barrier drain
+  kFetchWidth,   // front-end bandwidth
+  kStallCauseCount,
+};
+
+inline constexpr int kNumStallCauses = static_cast<int>(StallCause::kStallCauseCount);
+
+const char* StallCauseName(StallCause cause);
+
+struct InstructionTruth {
+  uint64_t exec_count = 0;
+  uint64_t head_cycles = 0;  // total cycles at the head of the issue queue
+  uint64_t stall_cycles[kNumStallCauses] = {};
+  uint64_t imiss_events = 0;
+  uint64_t dmiss_events = 0;
+  uint64_t mispredict_events = 0;
+  uint64_t dtbmiss_events = 0;
+};
+
+// Per-image ground truth, dense per instruction.
+struct ImageTruth {
+  std::shared_ptr<const ExecutableImage> image;
+  std::vector<InstructionTruth> instructions;               // by instruction index
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> edges;  // (from_off, to_off) -> count
+};
+
+class GroundTruth {
+ public:
+  // Registers an image; instruction counters are indexed by PC range.
+  void AddImage(std::shared_ptr<const ExecutableImage> image);
+
+  // Fast lookup of the truth record for an absolute PC (images are
+  // prelinked at unique addresses). Returns nullptr for unknown PCs.
+  InstructionTruth* ForPc(uint64_t pc);
+
+  void AddEdge(uint64_t from_pc, uint64_t to_pc);
+
+  const ImageTruth* FindImage(const ExecutableImage* image) const;
+  const std::vector<ImageTruth>& images() const { return images_; }
+
+ private:
+  ImageTruth* ImageForPc(uint64_t pc);
+
+  std::vector<ImageTruth> images_;  // sorted by text_base
+  ImageTruth* last_hit_ = nullptr;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_CPU_GROUND_TRUTH_H_

@@ -1,0 +1,40 @@
+// Interface between the CPU and the performance-counter subsystem.
+//
+// The CPU reports issue events (with head-of-issue-queue intervals) and
+// discrete microarchitectural events; the monitor decides when counters
+// overflow, where the skidded sample lands, and how many cycles the
+// interrupt handler steals from the CPU.
+
+#ifndef SRC_CPU_PERF_MONITOR_H_
+#define SRC_CPU_PERF_MONITOR_H_
+
+#include <cstdint>
+
+#include "src/cpu/event.h"
+
+namespace dcpi {
+
+class PerfMonitor {
+ public:
+  virtual ~PerfMonitor() = default;
+
+  // Instruction at `pc` (process `pid`) was at the head of the issue queue
+  // for the interval (t_prev, t_issue]. Any counter overflow whose
+  // (skid-adjusted) delivery lands in that interval samples this pc.
+  // Returns the adjusted issue time (>= t_issue) after charging interrupt
+  // handler cycles to the CPU.
+  virtual uint64_t OnIssue(uint32_t pid, uint64_t pc, uint64_t t_prev, uint64_t t_issue) = 0;
+
+  // A discrete event occurred at `cycle` (event clocks may slightly precede
+  // the issue clock: fetch runs ahead).
+  virtual void OnEvent(EventType type, uint64_t cycle) = 0;
+
+  // The CPU is in PALcode / uninterruptible code for [start, end); sample
+  // deliveries in this window are deferred past `end` (the paper's blind
+  // spots, Section 4.1.3).
+  virtual void OnPalWindow(uint64_t start, uint64_t end) = 0;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_CPU_PERF_MONITOR_H_

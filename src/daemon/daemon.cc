@@ -1,0 +1,110 @@
+#include "src/daemon/daemon.h"
+
+#include <algorithm>
+
+namespace dcpi {
+
+namespace {
+constexpr char kUnknownImage[] = "unknown";
+}  // namespace
+
+Daemon::Daemon(DcpiDriver* driver, ProfileDatabase* database,
+               std::vector<double> mean_periods)
+    : driver_(driver), database_(database), mean_periods_(std::move(mean_periods)) {
+  mean_periods_.resize(kNumEventTypes, 0.0);
+  if (driver_ != nullptr) {
+    driver_->set_overflow_handler(
+        [this](uint32_t cpu_id, const std::vector<SampleRecord>& records) {
+          ProcessBuffer(cpu_id, records);
+        });
+  }
+}
+
+void Daemon::ProcessLoaderEvents(std::vector<LoaderEvent> events) {
+  for (LoaderEvent& event : events) {
+    if (event.kind == LoaderEvent::Kind::kLoadImage && event.image != nullptr) {
+      std::vector<Mapping>& maps = load_maps_[event.pid];
+      maps.push_back({event.image->text_base(), event.image->text_end(), event.image});
+      std::sort(maps.begin(), maps.end(),
+                [](const Mapping& a, const Mapping& b) { return a.start < b.start; });
+    }
+    // Process-exit events: the paper's daemon reaps per-process state
+    // infrequently; we keep load maps until the end of the run so that
+    // late-drained samples from exited processes still resolve.
+  }
+}
+
+const Daemon::Mapping* Daemon::ResolvePc(uint32_t pid, uint64_t pc) {
+  auto it = load_maps_.find(pid);
+  if (it == load_maps_.end()) return nullptr;
+  const std::vector<Mapping>& maps = it->second;
+  auto map_it = std::upper_bound(
+      maps.begin(), maps.end(), pc,
+      [](uint64_t value, const Mapping& m) { return value < m.start; });
+  if (map_it == maps.begin()) return nullptr;
+  --map_it;
+  return (pc >= map_it->start && pc < map_it->end) ? &*map_it : nullptr;
+}
+
+ImageProfile* Daemon::ProfileFor(const std::string& image_name, EventType event) {
+  auto key = std::make_pair(image_name, static_cast<int>(event));
+  auto it = profiles_.find(key);
+  if (it == profiles_.end()) {
+    it = profiles_
+             .emplace(key, std::make_unique<ImageProfile>(
+                               image_name, event,
+                               mean_periods_[static_cast<int>(event)]))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records) {
+  (void)cpu_id;
+  stats_.daemon_cycles += config_.cycles_per_buffer_flush;
+  for (const SampleRecord& record : records) {
+    ++stats_.records_processed;
+    stats_.daemon_cycles += config_.cycles_per_record;
+    const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
+    if (mapping == nullptr) {
+      stats_.samples_unknown += record.count;
+      ProfileFor(kUnknownImage, record.key.event)->AddSamples(0, record.count);
+      continue;
+    }
+    stats_.samples_attributed += record.count;
+    ProfileFor(mapping->image->name(), record.key.event)
+        ->AddSamples(record.key.pc - mapping->start, record.count);
+  }
+}
+
+Status Daemon::FlushToDatabase() {
+  if (driver_ != nullptr) driver_->FlushAll();
+  if (database_ == nullptr) return Status::Ok();
+  for (const auto& [key, profile] : profiles_) {
+    if (profile->distinct_offsets() == 0) continue;
+    DCPI_RETURN_IF_ERROR(database_->WriteProfile(*profile));
+    ++stats_.db_merges;
+  }
+  return Status::Ok();
+}
+
+const ImageProfile* Daemon::FindProfile(const std::string& image_name,
+                                        EventType event) const {
+  auto it = profiles_.find(std::make_pair(image_name, static_cast<int>(event)));
+  return it == profiles_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const ImageProfile*> Daemon::AllProfiles() const {
+  std::vector<const ImageProfile*> all;
+  for (const auto& [key, profile] : profiles_) all.push_back(profile.get());
+  return all;
+}
+
+uint64_t Daemon::MemoryUsageBytes() const {
+  uint64_t total = 1 << 16;  // buffers to copy one overflow buffer, misc state
+  for (const auto& [pid, maps] : load_maps_) total += 64 + maps.size() * 48;
+  for (const auto& [key, profile] : profiles_) total += profile->memory_bytes();
+  return total;
+}
+
+}  // namespace dcpi

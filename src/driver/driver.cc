@@ -1,0 +1,85 @@
+#include "src/driver/driver.h"
+
+namespace dcpi {
+
+DcpiDriver::DcpiDriver(uint32_t num_cpus, const DriverConfig& config) : config_(config) {
+  per_cpu_.resize(num_cpus);
+  for (PerCpu& cpu : per_cpu_) {
+    cpu.table = std::make_unique<SampleHashTable>(config.hash);
+    cpu.buffers[0].reserve(config.overflow_entries);
+    cpu.buffers[1].reserve(config.overflow_entries);
+  }
+}
+
+void DcpiDriver::AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const SampleRecord& record) {
+  std::vector<SampleRecord>& active = cpu->buffers[cpu->active_buffer];
+  active.push_back(record);
+  if (active.size() >= config_.overflow_entries) {
+    // Buffer full: notify the daemon and switch to the other buffer.
+    ++cpu->stats.overflow_buffer_flushes;
+    if (overflow_handler_) overflow_handler_(cpu_id, active);
+    active.clear();
+    cpu->active_buffer ^= 1;
+  }
+}
+
+uint64_t DcpiDriver::DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
+                                   EventType event) {
+  PerCpu& cpu = per_cpu_[cpu_id];
+  SampleKey key{pid, pc, event};
+  if (config_.record_trace && trace_.size() < config_.max_trace_samples) {
+    trace_.push_back(key);
+  }
+  SampleHashTable::RecordResult result = cpu.table->Record(key);
+  uint64_t cost = config_.intr_setup_cycles;
+  if (result.hit && !result.evicted) {
+    ++cpu.stats.hash_hits;
+    cost += config_.hit_body_cycles;
+  } else {
+    ++cpu.stats.hash_misses;
+    cost += config_.miss_body_cycles;
+  }
+  if (result.evicted) AppendOverflow(cpu_id, &cpu, result.victim);
+  ++cpu.stats.interrupts;
+  cpu.stats.handler_cycles += cost;
+  return cost;
+}
+
+void DcpiDriver::FlushAll() {
+  for (uint32_t cpu_id = 0; cpu_id < per_cpu_.size(); ++cpu_id) {
+    PerCpu& cpu = per_cpu_[cpu_id];
+    std::vector<SampleRecord> drained;
+    cpu.table->Flush([&](const SampleRecord& record) { drained.push_back(record); });
+    for (int b = 0; b < 2; ++b) {
+      for (const SampleRecord& record : cpu.buffers[b]) drained.push_back(record);
+      cpu.buffers[b].clear();
+    }
+    if (!drained.empty() && overflow_handler_) overflow_handler_(cpu_id, drained);
+  }
+}
+
+DriverCpuStats DcpiDriver::TotalStats() const {
+  DriverCpuStats total;
+  for (const PerCpu& cpu : per_cpu_) {
+    total.interrupts += cpu.stats.interrupts;
+    total.hash_hits += cpu.stats.hash_hits;
+    total.hash_misses += cpu.stats.hash_misses;
+    total.handler_cycles += cpu.stats.handler_cycles;
+    total.overflow_buffer_flushes += cpu.stats.overflow_buffer_flushes;
+  }
+  return total;
+}
+
+uint64_t DcpiDriver::total_samples() const {
+  DriverCpuStats total = TotalStats();
+  return total.interrupts;
+}
+
+uint64_t DcpiDriver::KernelMemoryBytesPerCpu() const {
+  uint64_t table = static_cast<uint64_t>(config_.hash.buckets) *
+                   config_.hash.associativity * 16;
+  uint64_t buffers = 2ull * config_.overflow_entries * 16;
+  return table + buffers;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,100 @@
+#include "src/driver/hash_table.h"
+
+namespace dcpi {
+
+namespace {
+
+uint64_t MixKey(const SampleKey& key) {
+  return (static_cast<uint64_t>(key.pid) << 40) ^ (key.pc >> 2) ^
+         (static_cast<uint64_t>(key.event) << 56);
+}
+
+}  // namespace
+
+SampleHashTable::SampleHashTable(const HashTableConfig& config)
+    : config_(config),
+      entries_(static_cast<size_t>(config.buckets) * config.associativity),
+      victim_counter_(config.buckets, 0) {}
+
+uint64_t SampleHashTable::BucketIndex(const SampleKey& key) const {
+  uint64_t mixed = MixKey(key);
+  switch (config_.hash) {
+    case HashKind::kMultiplicative:
+      return (mixed * 0x9e3779b97f4a7c15ull) >> 40 & (config_.buckets - 1);
+    case HashKind::kXorFold:
+      return (mixed ^ (mixed >> 16) ^ (mixed >> 32)) & (config_.buckets - 1);
+  }
+  return 0;
+}
+
+SampleHashTable::RecordResult SampleHashTable::Record(const SampleKey& key) {
+  ++stats_.lookups;
+  RecordResult result;
+  SampleRecord* base = &entries_[BucketIndex(key) * config_.associativity];
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].count != 0 && base[w].key == key) {
+      ++stats_.hits;
+      result.hit = true;
+      if (base[w].count >= config_.max_count) {
+        // Saturated 16-bit count: evict the aggregate to the overflow path.
+        result.evicted = true;
+        result.victim = base[w];
+        base[w].count = 1;
+        base[w].key = key;
+        return result;
+      }
+      ++base[w].count;
+      if (config_.replacement == Replacement::kSwapToFront && w != 0) {
+        std::swap(base[0], base[w]);
+      }
+      return result;
+    }
+  }
+  ++stats_.misses;
+  // Miss: find an empty slot or evict.
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].count == 0) {
+      base[w].key = key;
+      base[w].count = 1;
+      if (config_.replacement == Replacement::kSwapToFront && w != 0) {
+        std::swap(base[0], base[w]);
+      }
+      return result;
+    }
+  }
+  ++stats_.evictions;
+  result.evicted = true;
+  uint32_t victim;
+  if (config_.replacement == Replacement::kSwapToFront) {
+    victim = config_.associativity - 1;  // LRU is at the back of the line
+  } else {
+    uint64_t bucket = BucketIndex(key);
+    victim = victim_counter_[bucket]++ % config_.associativity;
+  }
+  result.victim = base[victim];
+  base[victim].key = key;
+  base[victim].count = 1;
+  if (config_.replacement == Replacement::kSwapToFront && victim != 0) {
+    std::swap(base[0], base[victim]);
+  }
+  return result;
+}
+
+void SampleHashTable::Flush(const std::function<void(const SampleRecord&)>& fn) {
+  for (SampleRecord& entry : entries_) {
+    if (entry.count != 0) {
+      fn(entry);
+      entry.count = 0;
+    }
+  }
+}
+
+uint64_t SampleHashTable::live_entries() const {
+  uint64_t live = 0;
+  for (const SampleRecord& entry : entries_) {
+    if (entry.count != 0) ++live;
+  }
+  return live;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,98 @@
+// The device driver's per-CPU sample hash table (Section 4.2.1).
+//
+// Samples are aggregated by (PID, PC, EVENT): the table is an array of
+// fixed-size buckets sized to one 64-byte cache line, each holding four
+// entries (key + count). A hit increments the count; a miss evicts one
+// entry (chosen by a mod-counter, per the paper) to the overflow buffer and
+// replaces it. Associativity, replacement policy, and hash function are
+// configurable to support the Section 5.4 design-space exploration
+// (6-way packing and swap-to-front are the paper's proposed improvements).
+
+#ifndef SRC_DRIVER_HASH_TABLE_H_
+#define SRC_DRIVER_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/cpu/event.h"
+
+namespace dcpi {
+
+struct SampleKey {
+  uint32_t pid = 0;
+  uint64_t pc = 0;
+  EventType event = EventType::kCycles;
+
+  bool operator==(const SampleKey&) const = default;
+};
+
+struct SampleRecord {
+  SampleKey key;
+  uint64_t count = 0;
+};
+
+enum class Replacement {
+  kModCounter,   // paper's shipped policy: round-robin victim, insert in place
+  kSwapToFront,  // proposed improvement: MRU at the front of the line
+};
+
+enum class HashKind {
+  kMultiplicative,  // Fibonacci hashing of the mixed key
+  kXorFold,         // simple xor-fold (for the ablation)
+};
+
+struct HashTableConfig {
+  uint32_t buckets = 4096;  // x4 entries = 16K samples, 256 KB (paper's size)
+  uint32_t associativity = 4;
+  Replacement replacement = Replacement::kModCounter;
+  HashKind hash = HashKind::kMultiplicative;
+  uint32_t max_count = 0xffff;  // counts are 16-bit in the packed line
+};
+
+struct HashTableStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;     // insertions of a new key
+  uint64_t evictions = 0;  // misses that displaced a live entry
+
+  double MissRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(lookups);
+  }
+};
+
+class SampleHashTable {
+ public:
+  explicit SampleHashTable(const HashTableConfig& config);
+
+  struct RecordResult {
+    bool hit = false;
+    bool evicted = false;
+    SampleRecord victim;  // valid when evicted
+  };
+
+  RecordResult Record(const SampleKey& key);
+
+  // Drains every live entry through `fn` and clears the table (the daemon's
+  // hash-table flush).
+  void Flush(const std::function<void(const SampleRecord&)>& fn);
+
+  uint64_t live_entries() const;
+  uint64_t memory_bytes() const {
+    return static_cast<uint64_t>(config_.buckets) * config_.associativity * 16;
+  }
+  const HashTableStats& stats() const { return stats_; }
+  const HashTableConfig& config() const { return config_; }
+
+ private:
+  uint64_t BucketIndex(const SampleKey& key) const;
+
+  HashTableConfig config_;
+  std::vector<SampleRecord> entries_;  // buckets * associativity, bucket-major
+  std::vector<uint8_t> victim_counter_;  // per-bucket mod counter
+  HashTableStats stats_;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_DRIVER_HASH_TABLE_H_

@@ -1,0 +1,651 @@
+#include "src/isa/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace dcpi {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Splits an operand field on commas at top level (no nesting in this syntax).
+std::vector<std::string> SplitOperands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& op : out) {
+    size_t b = op.find_first_not_of(" \t");
+    size_t e = op.find_last_not_of(" \t");
+    op = b == std::string::npos ? "" : op.substr(b, e - b + 1);
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// A line reduced to label / mnemonic / operand string.
+struct ParsedLine {
+  int line_no = 0;
+  std::string label;     // without ':'
+  std::string mnemonic;  // lowercase; may be a directive starting with '.'
+  std::string operands;
+};
+
+std::optional<int> ParseRegister(const std::string& name, RegBank* bank) {
+  std::string s = Trim(name);
+  if (s == "zero") {
+    *bank = RegBank::kInt;
+    return kZeroReg;
+  }
+  if (s == "sp") {
+    *bank = RegBank::kInt;
+    return kStackReg;
+  }
+  if (s == "ra") {
+    *bank = RegBank::kInt;
+    return kReturnAddrReg;
+  }
+  if (s.size() < 2) return std::nullopt;
+  if (s[0] == 'r') {
+    *bank = RegBank::kInt;
+  } else if (s[0] == 'f') {
+    *bank = RegBank::kFp;
+  } else {
+    return std::nullopt;
+  }
+  int value = 0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+    value = value * 10 + (s[i] - '0');
+  }
+  if (value < 0 || value > 31) return std::nullopt;
+  return value;
+}
+
+bool ParseInteger(const std::string& text, int64_t* out) {
+  std::string s = Trim(text);
+  if (s.empty()) return false;
+  bool negative = false;
+  size_t i = 0;
+  if (s[0] == '-') {
+    negative = true;
+    i = 1;
+  } else if (s[0] == '+') {
+    i = 1;
+  }
+  if (i >= s.size()) return false;
+  int64_t value = 0;
+  if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    for (size_t j = i + 2; j < s.size(); ++j) {
+      char c = static_cast<char>(std::tolower(static_cast<unsigned char>(s[j])));
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        return false;
+      }
+      value = value * 16 + digit;
+    }
+  } else {
+    for (size_t j = i; j < s.size(); ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(s[j]))) return false;
+      value = value * 10 + (s[j] - '0');
+    }
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+class Assembler {
+ public:
+  Assembler(std::string image_name, uint64_t text_base, const ExternSymbols* externs)
+      : image_(std::make_shared<ExecutableImage>(std::move(image_name), text_base)),
+        text_base_(text_base),
+        externs_(externs) {}
+
+  Result<std::shared_ptr<ExecutableImage>> Run(const std::string& source) {
+    DCPI_RETURN_IF_ERROR(ParseLines(source));
+    DCPI_RETURN_IF_ERROR(PassOne());
+    DCPI_RETURN_IF_ERROR(PassTwo());
+    return image_;
+  }
+
+ private:
+  Status ErrorAt(int line_no, const std::string& msg) {
+    return InvalidArgument("line " + std::to_string(line_no) + ": " + msg);
+  }
+
+  Status ParseLines(const std::string& source) {
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      size_t comment = raw.find('#');
+      if (comment != std::string::npos) raw = raw.substr(0, comment);
+      std::string line = Trim(raw);
+      if (line.empty()) continue;
+      ParsedLine parsed;
+      parsed.line_no = line_no;
+      // Optional leading "label:".
+      size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string maybe_label = Trim(line.substr(0, colon));
+        if (IsIdentifier(maybe_label)) {
+          parsed.label = maybe_label;
+          line = Trim(line.substr(colon + 1));
+        }
+      }
+      if (!line.empty()) {
+        size_t space = line.find_first_of(" \t");
+        if (space == std::string::npos) {
+          parsed.mnemonic = line;
+        } else {
+          parsed.mnemonic = line.substr(0, space);
+          parsed.operands = Trim(line.substr(space + 1));
+        }
+        for (auto& c : parsed.mnemonic) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+      }
+      lines_.push_back(std::move(parsed));
+    }
+    return Status::Ok();
+  }
+
+  // Number of instruction words a statement assembles to (pseudo expansions
+  // are fixed-size so pass 1 can lay out addresses).
+  Result<int> InstructionWords(const ParsedLine& line, uint64_t pc) {
+    const std::string& m = line.mnemonic;
+    if (m == "li" || m == "lia") return 2;
+    if (m == ".align") {
+      int64_t boundary = 0;
+      if (!ParseInteger(line.operands, &boundary) || boundary <= 0 ||
+          (boundary % static_cast<int64_t>(kInstrBytes)) != 0) {
+        return ErrorAt(line.line_no, ".align in text requires a multiple of 4");
+      }
+      uint64_t b = static_cast<uint64_t>(boundary);
+      uint64_t aligned = (pc + b - 1) / b * b;
+      return static_cast<int>((aligned - pc) / kInstrBytes);
+    }
+    return 1;
+  }
+
+  Status PassOne() {
+    enum class Section { kText, kData } section = Section::kText;
+    uint64_t pc = text_base_;
+    uint64_t data_off = 0;
+    // First sub-pass over text only to compute total text size (data base
+    // depends on it).
+    for (const ParsedLine& line : lines_) {
+      if (line.mnemonic == ".text") {
+        section = Section::kText;
+        continue;
+      }
+      if (line.mnemonic == ".data") {
+        section = Section::kData;
+        continue;
+      }
+      if (section != Section::kText) continue;
+      if (!line.label.empty()) {
+        if (labels_.count(line.label)) return ErrorAt(line.line_no, "duplicate label " + line.label);
+        labels_[line.label] = pc;
+      }
+      if (line.mnemonic.empty()) continue;
+      if (line.mnemonic == ".proc") {
+        std::string name = Trim(line.operands);
+        if (!IsIdentifier(name)) return ErrorAt(line.line_no, ".proc requires a name");
+        open_proc_ = name;
+        proc_starts_[name] = pc;
+        labels_[name] = pc;
+        continue;
+      }
+      if (line.mnemonic == ".endp") {
+        if (open_proc_.empty()) return ErrorAt(line.line_no, ".endp without .proc");
+        image_->AddProcedure({open_proc_, proc_starts_[open_proc_], pc});
+        open_proc_.clear();
+        continue;
+      }
+      Result<int> words = InstructionWords(line, pc);
+      if (!words.ok()) return words.status();
+      pc += static_cast<uint64_t>(words.value()) * kInstrBytes;
+    }
+    if (!open_proc_.empty()) {
+      return InvalidArgument("unterminated .proc " + open_proc_);
+    }
+    text_end_ = pc;
+    // Data labels, offsets relative to data base.
+    uint64_t data_base = ((pc + kPageBytes - 1) / kPageBytes) * kPageBytes;
+    section = Section::kText;
+    for (const ParsedLine& line : lines_) {
+      if (line.mnemonic == ".text") {
+        section = Section::kText;
+        continue;
+      }
+      if (line.mnemonic == ".data") {
+        section = Section::kData;
+        continue;
+      }
+      if (section != Section::kData) continue;
+      if (!line.label.empty()) {
+        if (labels_.count(line.label)) return ErrorAt(line.line_no, "duplicate label " + line.label);
+        labels_[line.label] = data_base + data_off;
+        image_->AddDataSymbol({line.label, data_base + data_off});
+      }
+      if (line.mnemonic.empty()) continue;
+      Result<uint64_t> size = DataDirectiveSize(line, data_base + data_off);
+      if (!size.ok()) return size.status();
+      data_off += size.value();
+    }
+    data_size_ = data_off;
+    return Status::Ok();
+  }
+
+  Result<uint64_t> DataDirectiveSize(const ParsedLine& line, uint64_t addr) {
+    const std::string& m = line.mnemonic;
+    auto operands = SplitOperands(line.operands);
+    if (m == ".quad" || m == ".double") return static_cast<uint64_t>(operands.size()) * 8;
+    if (m == ".long") return static_cast<uint64_t>(operands.size()) * 4;
+    if (m == ".byte") return static_cast<uint64_t>(operands.size());
+    if (m == ".space") {
+      int64_t n = 0;
+      if (!ParseInteger(line.operands, &n) || n < 0) {
+        return ErrorAt(line.line_no, ".space requires a non-negative size");
+      }
+      return static_cast<uint64_t>(n);
+    }
+    if (m == ".align") {
+      int64_t boundary = 0;
+      if (!ParseInteger(line.operands, &boundary) || boundary <= 0) {
+        return ErrorAt(line.line_no, ".align requires a positive boundary");
+      }
+      uint64_t b = static_cast<uint64_t>(boundary);
+      return (addr + b - 1) / b * b - addr;
+    }
+    return ErrorAt(line.line_no, "unknown data directive " + m);
+  }
+
+  Result<uint64_t> ResolveValue(const ParsedLine& line, const std::string& text) {
+    std::string s = Trim(text);
+    // label+offset / label-offset
+    size_t plus = s.find_first_of("+-", 1);
+    int64_t imm = 0;
+    std::string base = s;
+    if (plus != std::string::npos && IsIdentifier(Trim(s.substr(0, plus)))) {
+      base = Trim(s.substr(0, plus));
+      if (!ParseInteger(s.substr(plus), &imm)) {
+        return ErrorAt(line.line_no, "bad offset in " + s);
+      }
+    }
+    if (IsIdentifier(base)) {
+      auto it = labels_.find(base);
+      if (it != labels_.end()) {
+        return static_cast<uint64_t>(static_cast<int64_t>(it->second) + imm);
+      }
+      if (externs_ != nullptr) {
+        auto ext = externs_->find(base);
+        if (ext != externs_->end()) {
+          return static_cast<uint64_t>(static_cast<int64_t>(ext->second) + imm);
+        }
+      }
+      return ErrorAt(line.line_no, "undefined label " + base);
+    }
+    int64_t value = 0;
+    if (!ParseInteger(s, &value)) return ErrorAt(line.line_no, "bad value " + s);
+    return static_cast<uint64_t>(value);
+  }
+
+  Status EmitLdahLdaPair(const ParsedLine& line, int reg, int64_t value) {
+    if (value < INT32_MIN || value > INT32_MAX) {
+      return ErrorAt(line.line_no, "li/lia value out of 32-bit range");
+    }
+    int16_t lo = static_cast<int16_t>(value & 0xffff);
+    int64_t hi64 = (value - lo) >> 16;
+    if (hi64 < INT16_MIN || hi64 > INT16_MAX) {
+      return ErrorAt(line.line_no, "li/lia value out of ldah range");
+    }
+    DecodedInst ldah;
+    ldah.op = Opcode::kLdah;
+    ldah.ra = static_cast<uint8_t>(reg);
+    ldah.rb = kZeroReg;
+    ldah.disp = static_cast<int16_t>(hi64);
+    image_->AppendInstruction(Encode(ldah), current_line_);
+    DecodedInst lda;
+    lda.op = Opcode::kLda;
+    lda.ra = static_cast<uint8_t>(reg);
+    lda.rb = static_cast<uint8_t>(reg);
+    lda.disp = lo;
+    image_->AppendInstruction(Encode(lda), current_line_);
+    return Status::Ok();
+  }
+
+  // "disp(base)" memory operand.
+  Status ParseMemOperand(const ParsedLine& line, const std::string& text, int16_t* disp,
+                         uint8_t* base) {
+    std::string s = Trim(text);
+    size_t open = s.find('(');
+    size_t close = s.find(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      return ErrorAt(line.line_no, "bad memory operand " + s);
+    }
+    std::string disp_text = Trim(s.substr(0, open));
+    int64_t d = 0;
+    if (disp_text.empty()) {
+      d = 0;
+    } else if (!ParseInteger(disp_text, &d)) {
+      return ErrorAt(line.line_no, "bad displacement " + disp_text);
+    }
+    if (d < INT16_MIN || d > INT16_MAX) return ErrorAt(line.line_no, "displacement out of range");
+    RegBank bank;
+    auto reg = ParseRegister(s.substr(open + 1, close - open - 1), &bank);
+    if (!reg || bank != RegBank::kInt) return ErrorAt(line.line_no, "bad base register in " + s);
+    *disp = static_cast<int16_t>(d);
+    *base = static_cast<uint8_t>(*reg);
+    return Status::Ok();
+  }
+
+  Status AssembleInstruction(const ParsedLine& line, uint64_t pc) {
+    const std::string& m = line.mnemonic;
+    auto ops = SplitOperands(line.operands);
+
+    // Pseudo-instructions.
+    if (m == "nop") return EmitOperate(line, Opcode::kBis, "r31", "r31", "r31");
+    if (m == "fnop") return EmitOperate(line, Opcode::kCpys, "f31", "f31", "f31");
+    if (m == "halt") return EmitPal(static_cast<int16_t>(PalFunc::kHalt));
+    if (m == "yield") return EmitPal(static_cast<int16_t>(PalFunc::kYield));
+    if (m == "mov") {
+      if (ops.size() != 2) return ErrorAt(line.line_no, "mov needs 2 operands");
+      return EmitOperate(line, Opcode::kBis, ops[0], ops[0], ops[1]);
+    }
+    if (m == "fmov") {
+      if (ops.size() != 2) return ErrorAt(line.line_no, "fmov needs 2 operands");
+      return EmitOperate(line, Opcode::kCpys, ops[0], ops[0], ops[1]);
+    }
+    if (m == "li" || m == "lia") {
+      if (ops.size() != 2) return ErrorAt(line.line_no, m + " needs 2 operands");
+      RegBank bank;
+      auto reg = ParseRegister(ops[0], &bank);
+      if (!reg || bank != RegBank::kInt) return ErrorAt(line.line_no, "bad register " + ops[0]);
+      Result<uint64_t> value = ResolveValue(line, ops[1]);
+      if (!value.ok()) return value.status();
+      return EmitLdahLdaPair(line, *reg, static_cast<int64_t>(value.value()));
+    }
+    if (m == ".align") {
+      Result<int> words = InstructionWords(line, pc);
+      if (!words.ok()) return words.status();
+      DecodedInst nop;
+      nop.op = Opcode::kBis;
+      nop.ra = nop.rb = nop.rc = kZeroReg;
+      for (int i = 0; i < words.value(); ++i) image_->AppendInstruction(Encode(nop), current_line_);
+      return Status::Ok();
+    }
+
+    auto opcode = OpcodeFromMnemonic(m);
+    if (!opcode) return ErrorAt(line.line_no, "unknown mnemonic " + m);
+    const OpcodeInfo& oi = GetOpcodeInfo(*opcode);
+    DecodedInst inst;
+    inst.op = *opcode;
+
+    switch (oi.format) {
+      case InstrFormat::kPal: {
+        if (*opcode == Opcode::kMb) {
+          image_->AppendInstruction(Encode(inst), current_line_);
+          return Status::Ok();
+        }
+        int64_t func = 0;
+        if (ops.size() != 1 || !ParseInteger(ops[0], &func)) {
+          return ErrorAt(line.line_no, "call_pal needs a function number");
+        }
+        inst.disp = static_cast<int16_t>(func);
+        image_->AppendInstruction(Encode(inst), current_line_);
+        return Status::Ok();
+      }
+      case InstrFormat::kBranch: {
+        if (ops.size() != 2) return ErrorAt(line.line_no, m + " needs 2 operands");
+        RegBank bank;
+        auto reg = ParseRegister(ops[0], &bank);
+        if (!reg || bank != oi.reg_bank) return ErrorAt(line.line_no, "bad register " + ops[0]);
+        inst.ra = static_cast<uint8_t>(*reg);
+        Result<uint64_t> target = ResolveValue(line, ops[1]);
+        if (!target.ok()) return target.status();
+        int64_t delta = static_cast<int64_t>(target.value()) -
+                        static_cast<int64_t>(pc + kInstrBytes);
+        if (delta % static_cast<int64_t>(kInstrBytes) != 0) {
+          return ErrorAt(line.line_no, "misaligned branch target");
+        }
+        int64_t words = delta / static_cast<int64_t>(kInstrBytes);
+        if (words < INT16_MIN || words > INT16_MAX) {
+          return ErrorAt(line.line_no, "branch target out of range");
+        }
+        inst.disp = static_cast<int16_t>(words);
+        image_->AppendInstruction(Encode(inst), current_line_);
+        return Status::Ok();
+      }
+      case InstrFormat::kMemory: {
+        if (*opcode == Opcode::kItoft || *opcode == Opcode::kFtoit) {
+          if (ops.size() != 2) return ErrorAt(line.line_no, m + " needs 2 operands");
+          RegBank bank_a, bank_b;
+          auto reg_a = ParseRegister(ops[0], &bank_a);
+          auto reg_b = ParseRegister(ops[1], &bank_b);
+          bool itoft = *opcode == Opcode::kItoft;
+          if (!reg_a || !reg_b || bank_a != (itoft ? RegBank::kFp : RegBank::kInt) ||
+              bank_b != (itoft ? RegBank::kInt : RegBank::kFp)) {
+            return ErrorAt(line.line_no, "bad registers for " + m);
+          }
+          inst.ra = static_cast<uint8_t>(*reg_a);
+          inst.rb = static_cast<uint8_t>(*reg_b);
+          image_->AppendInstruction(Encode(inst), current_line_);
+          return Status::Ok();
+        }
+        if (ops.size() != 2) return ErrorAt(line.line_no, m + " needs 2 operands");
+        RegBank bank;
+        auto reg = ParseRegister(ops[0], &bank);
+        if (!reg || bank != oi.reg_bank) return ErrorAt(line.line_no, "bad register " + ops[0]);
+        inst.ra = static_cast<uint8_t>(*reg);
+        DCPI_RETURN_IF_ERROR(ParseMemOperand(line, ops[1], &inst.disp, &inst.rb));
+        image_->AppendInstruction(Encode(inst), current_line_);
+        return Status::Ok();
+      }
+      case InstrFormat::kOperate: {
+        if (ops.size() != 3) return ErrorAt(line.line_no, m + " needs 3 operands");
+        return EmitOperate(line, *opcode, ops[0], ops[1], ops[2]);
+      }
+    }
+    return ErrorAt(line.line_no, "unhandled format");
+  }
+
+  Status EmitOperate(const ParsedLine& line, Opcode op, const std::string& a,
+                     const std::string& b, const std::string& c) {
+    const OpcodeInfo& oi = GetOpcodeInfo(op);
+    DecodedInst inst;
+    inst.op = op;
+    RegBank bank;
+    auto ra = ParseRegister(a, &bank);
+    if (!ra || bank != oi.reg_bank) return ErrorAt(line.line_no, "bad register " + a);
+    inst.ra = static_cast<uint8_t>(*ra);
+    auto rb = ParseRegister(b, &bank);
+    if (rb && bank == oi.reg_bank) {
+      inst.rb = static_cast<uint8_t>(*rb);
+    } else {
+      int64_t lit = 0;
+      if (!ParseInteger(b, &lit) || lit < 0 || lit > 255) {
+        return ErrorAt(line.line_no, "bad operand " + b + " (register or 0..255 literal)");
+      }
+      inst.has_literal = true;
+      inst.literal = static_cast<uint8_t>(lit);
+    }
+    auto rc = ParseRegister(c, &bank);
+    if (!rc || bank != oi.reg_bank) return ErrorAt(line.line_no, "bad register " + c);
+    inst.rc = static_cast<uint8_t>(*rc);
+    image_->AppendInstruction(Encode(inst), current_line_);
+    return Status::Ok();
+  }
+
+  Status EmitPal(int16_t func) {
+    DecodedInst inst;
+    inst.op = Opcode::kCallPal;
+    inst.disp = func;
+    image_->AppendInstruction(Encode(inst), current_line_);
+    return Status::Ok();
+  }
+
+  Status PassTwo() {
+    enum class Section { kText, kData } section = Section::kText;
+    uint64_t pc = text_base_;
+    std::vector<uint8_t> data;
+    for (const ParsedLine& line : lines_) {
+      current_line_ = line.line_no;
+      if (line.mnemonic == ".text") {
+        section = Section::kText;
+        continue;
+      }
+      if (line.mnemonic == ".data") {
+        section = Section::kData;
+        continue;
+      }
+      if (line.mnemonic.empty() || line.mnemonic == ".proc" || line.mnemonic == ".endp") {
+        continue;
+      }
+      if (section == Section::kText) {
+        size_t before = image_->num_instructions();
+        DCPI_RETURN_IF_ERROR(AssembleInstruction(line, pc));
+        pc += (image_->num_instructions() - before) * kInstrBytes;
+      } else {
+        DCPI_RETURN_IF_ERROR(EmitData(line, &data));
+      }
+    }
+    if (pc != text_end_) {
+      return Internal("pass 1/2 text size mismatch");
+    }
+    image_->SetData(std::move(data), data_size_);
+    return Status::Ok();
+  }
+
+  Status EmitData(const ParsedLine& line, std::vector<uint8_t>* data) {
+    const std::string& m = line.mnemonic;
+    auto ops = SplitOperands(line.operands);
+    auto put_bytes = [&](uint64_t value, int n) {
+      for (int i = 0; i < n; ++i) data->push_back(static_cast<uint8_t>(value >> (8 * i)));
+    };
+    if (m == ".quad") {
+      for (const auto& op : ops) {
+        Result<uint64_t> v = ResolveValue(line, op);
+        if (!v.ok()) return v.status();
+        put_bytes(v.value(), 8);
+      }
+      return Status::Ok();
+    }
+    if (m == ".double") {
+      for (const auto& op : ops) {
+        double d = 0;
+        try {
+          d = std::stod(Trim(op));
+        } catch (...) {
+          return ErrorAt(line.line_no, "bad double " + op);
+        }
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        put_bytes(bits, 8);
+      }
+      return Status::Ok();
+    }
+    if (m == ".long") {
+      for (const auto& op : ops) {
+        Result<uint64_t> v = ResolveValue(line, op);
+        if (!v.ok()) return v.status();
+        put_bytes(v.value(), 4);
+      }
+      return Status::Ok();
+    }
+    if (m == ".byte") {
+      for (const auto& op : ops) {
+        Result<uint64_t> v = ResolveValue(line, op);
+        if (!v.ok()) return v.status();
+        put_bytes(v.value(), 1);
+      }
+      return Status::Ok();
+    }
+    if (m == ".space") {
+      int64_t n = 0;
+      ParseInteger(line.operands, &n);
+      data->insert(data->end(), static_cast<size_t>(n), 0);
+      return Status::Ok();
+    }
+    if (m == ".align") {
+      uint64_t addr = image_->data_base() + data->size();
+      Result<uint64_t> pad = DataDirectiveSize(line, addr);
+      if (!pad.ok()) return pad.status();
+      data->insert(data->end(), pad.value(), 0);
+      return Status::Ok();
+    }
+    return ErrorAt(line.line_no, "unknown data directive " + m);
+  }
+
+  std::shared_ptr<ExecutableImage> image_;
+  uint64_t text_base_;
+  uint64_t text_end_ = 0;
+  uint64_t data_size_ = 0;
+  std::vector<ParsedLine> lines_;
+  std::unordered_map<std::string, uint64_t> labels_;
+  std::unordered_map<std::string, uint64_t> proc_starts_;
+  std::string open_proc_;
+  const ExternSymbols* externs_;
+  int current_line_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<ExecutableImage>> Assemble(const std::string& image_name,
+                                                  uint64_t text_base,
+                                                  const std::string& source,
+                                                  const ExternSymbols* externs) {
+  if (text_base % kInstrBytes != 0) {
+    return InvalidArgument("text base must be instruction-aligned");
+  }
+  if (text_base >= (1ull << 31)) {
+    return InvalidArgument("text base must be below 2^31");
+  }
+  Assembler assembler(image_name, text_base, externs);
+  return assembler.Run(source);
+}
+
+ExternSymbols ExportedProcedures(const ExecutableImage& image) {
+  ExternSymbols symbols;
+  for (const ProcedureSymbol& proc : image.procedures()) {
+    symbols[proc.name] = proc.start;
+  }
+  return symbols;
+}
+
+}  // namespace dcpi

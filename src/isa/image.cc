@@ -1,0 +1,47 @@
+#include "src/isa/image.h"
+
+#include <algorithm>
+
+namespace dcpi {
+
+uint64_t ExecutableImage::data_base() const {
+  uint64_t end = text_end();
+  return (end + kPageBytes - 1) / kPageBytes * kPageBytes;
+}
+
+void ExecutableImage::SetData(std::vector<uint8_t> init, uint64_t total_size) {
+  data_init_ = std::move(init);
+  data_size_ = std::max<uint64_t>(total_size, data_init_.size());
+}
+
+void ExecutableImage::AddProcedure(ProcedureSymbol proc) {
+  procedures_.push_back(std::move(proc));
+  std::sort(procedures_.begin(), procedures_.end(),
+            [](const ProcedureSymbol& a, const ProcedureSymbol& b) { return a.start < b.start; });
+}
+
+const ProcedureSymbol* ExecutableImage::FindProcedure(uint64_t pc) const {
+  // First procedure with start > pc, then step back.
+  auto it = std::upper_bound(
+      procedures_.begin(), procedures_.end(), pc,
+      [](uint64_t value, const ProcedureSymbol& p) { return value < p.start; });
+  if (it == procedures_.begin()) return nullptr;
+  --it;
+  return (pc >= it->start && pc < it->end) ? &*it : nullptr;
+}
+
+const ProcedureSymbol* ExecutableImage::FindProcedureByName(const std::string& name) const {
+  for (const auto& p : procedures_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Result<uint64_t> ExecutableImage::DataSymbolAddress(const std::string& name) const {
+  for (const auto& s : data_symbols_) {
+    if (s.name == name) return s.address;
+  }
+  return NotFound("data symbol: " + name);
+}
+
+}  // namespace dcpi

@@ -1,0 +1,107 @@
+// Executable images: the unit the profiling system attributes samples to.
+//
+// An image has a text section (32-bit instructions at text_base), a data
+// section, and a symbol table of procedures. Images are position-dependent
+// (prelinked, like DIGITAL Unix shared libraries): every image is assembled
+// at its load address, and the same image can be mapped into many processes
+// (shared-library behaviour in Figure 1).
+
+#ifndef SRC_ISA_IMAGE_H_
+#define SRC_ISA_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.h"
+#include "src/support/status.h"
+
+namespace dcpi {
+
+struct ProcedureSymbol {
+  std::string name;
+  uint64_t start = 0;  // first instruction address (absolute)
+  uint64_t end = 0;    // one past the last instruction address
+};
+
+struct DataSymbol {
+  std::string name;
+  uint64_t address = 0;
+};
+
+class ExecutableImage {
+ public:
+  ExecutableImage(std::string name, uint64_t text_base)
+      : name_(std::move(name)), text_base_(text_base) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- Text section ---
+  uint64_t text_base() const { return text_base_; }
+  uint64_t text_end() const { return text_base_ + text_.size() * kInstrBytes; }
+  size_t num_instructions() const { return text_.size(); }
+  const std::vector<uint32_t>& text() const { return text_; }
+
+  void AppendInstruction(uint32_t word, int source_line = 0) {
+    text_.push_back(word);
+    source_lines_.push_back(source_line);
+  }
+  void SetInstruction(size_t index, uint32_t word) { text_[index] = word; }
+
+  // Assembly source line of an instruction (0 = unknown). Plays the role
+  // of the line-number information DCPI's source-annotation tools read
+  // from image symbol tables.
+  int SourceLineOf(size_t index) const {
+    return index < source_lines_.size() ? source_lines_[index] : 0;
+  }
+
+  bool ContainsPc(uint64_t pc) const { return pc >= text_base_ && pc < text_end(); }
+
+  // Instruction word at an absolute PC; nullopt outside the text section.
+  std::optional<uint32_t> InstructionAt(uint64_t pc) const {
+    if (!ContainsPc(pc) || (pc - text_base_) % kInstrBytes != 0) return std::nullopt;
+    return text_[(pc - text_base_) / kInstrBytes];
+  }
+
+  // Byte offset of a PC within the image (how profiles key samples).
+  uint64_t PcToOffset(uint64_t pc) const { return pc - text_base_; }
+  uint64_t OffsetToPc(uint64_t offset) const { return text_base_ + offset; }
+
+  // --- Data section ---
+  // The data section starts at the next page boundary after the text.
+  uint64_t data_base() const;
+  uint64_t data_size() const { return data_size_; }
+  const std::vector<uint8_t>& data_init() const { return data_init_; }
+
+  // Initialized bytes; the remainder up to data_size is zero (bss).
+  void SetData(std::vector<uint8_t> init, uint64_t total_size);
+
+  // --- Symbols ---
+  void AddProcedure(ProcedureSymbol proc);
+  void AddDataSymbol(DataSymbol sym) { data_symbols_.push_back(std::move(sym)); }
+
+  const std::vector<ProcedureSymbol>& procedures() const { return procedures_; }
+  const std::vector<DataSymbol>& data_symbols() const { return data_symbols_; }
+
+  // Procedure containing `pc`, or nullptr. Procedures are kept sorted.
+  const ProcedureSymbol* FindProcedure(uint64_t pc) const;
+  const ProcedureSymbol* FindProcedureByName(const std::string& name) const;
+
+  Result<uint64_t> DataSymbolAddress(const std::string& name) const;
+
+ private:
+  std::string name_;
+  uint64_t text_base_;
+  std::vector<uint32_t> text_;
+  std::vector<int> source_lines_;  // parallel to text_
+  std::vector<uint8_t> data_init_;
+  uint64_t data_size_ = 0;
+  std::vector<ProcedureSymbol> procedures_;  // sorted by start
+  std::vector<DataSymbol> data_symbols_;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_ISA_IMAGE_H_

@@ -1,0 +1,104 @@
+#include "src/isa/image_io.h"
+
+#include "src/support/binary_io.h"
+
+namespace dcpi {
+
+namespace {
+constexpr uint32_t kImageMagic = 0x44435849;  // "DCXI"
+constexpr uint8_t kImageVersion = 2;  // v2 adds the source-line table
+}  // namespace
+
+std::vector<uint8_t> SerializeImage(const ExecutableImage& image) {
+  ByteWriter writer;
+  writer.PutU32(kImageMagic);
+  writer.PutU8(kImageVersion);
+  writer.PutString(image.name());
+  writer.PutU64(image.text_base());
+  writer.PutVarint(image.text().size());
+  for (uint32_t word : image.text()) writer.PutU32(word);
+  writer.PutVarint(image.data_init().size());
+  for (uint8_t byte : image.data_init()) writer.PutU8(byte);
+  writer.PutU64(image.data_size());
+  writer.PutVarint(image.procedures().size());
+  for (const ProcedureSymbol& proc : image.procedures()) {
+    writer.PutString(proc.name);
+    writer.PutU64(proc.start);
+    writer.PutU64(proc.end);
+  }
+  writer.PutVarint(image.data_symbols().size());
+  for (const DataSymbol& sym : image.data_symbols()) {
+    writer.PutString(sym.name);
+    writer.PutU64(sym.address);
+  }
+  for (size_t i = 0; i < image.num_instructions(); ++i) {
+    writer.PutVarint(static_cast<uint64_t>(image.SourceLineOf(i)));
+  }
+  return writer.bytes();
+}
+
+Result<std::shared_ptr<ExecutableImage>> DeserializeImage(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kImageMagic) return IoError("bad image magic");
+  uint8_t version = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU8(&version));
+  if (version != kImageVersion) return IoError("unsupported image version");
+  std::string name;
+  DCPI_RETURN_IF_ERROR(reader.GetString(&name));
+  uint64_t text_base = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU64(&text_base));
+  auto image = std::make_shared<ExecutableImage>(name, text_base);
+  uint64_t text_words = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetVarint(&text_words));
+  std::vector<uint32_t> words(text_words);
+  for (uint64_t i = 0; i < text_words; ++i) {
+    DCPI_RETURN_IF_ERROR(reader.GetU32(&words[i]));
+  }
+  uint64_t init_bytes = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetVarint(&init_bytes));
+  std::vector<uint8_t> init(init_bytes);
+  for (uint64_t i = 0; i < init_bytes; ++i) {
+    DCPI_RETURN_IF_ERROR(reader.GetU8(&init[i]));
+  }
+  uint64_t data_size = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU64(&data_size));
+  image->SetData(std::move(init), data_size);
+  uint64_t num_procs = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetVarint(&num_procs));
+  for (uint64_t i = 0; i < num_procs; ++i) {
+    ProcedureSymbol proc;
+    DCPI_RETURN_IF_ERROR(reader.GetString(&proc.name));
+    DCPI_RETURN_IF_ERROR(reader.GetU64(&proc.start));
+    DCPI_RETURN_IF_ERROR(reader.GetU64(&proc.end));
+    image->AddProcedure(std::move(proc));
+  }
+  uint64_t num_syms = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetVarint(&num_syms));
+  for (uint64_t i = 0; i < num_syms; ++i) {
+    DataSymbol sym;
+    DCPI_RETURN_IF_ERROR(reader.GetString(&sym.name));
+    DCPI_RETURN_IF_ERROR(reader.GetU64(&sym.address));
+    image->AddDataSymbol(std::move(sym));
+  }
+  for (uint64_t i = 0; i < text_words; ++i) {
+    uint64_t line = 0;
+    DCPI_RETURN_IF_ERROR(reader.GetVarint(&line));
+    image->AppendInstruction(words[i], static_cast<int>(line));
+  }
+  return image;
+}
+
+Status SaveImage(const ExecutableImage& image, const std::string& path) {
+  return WriteFile(path, SerializeImage(image));
+}
+
+Result<std::shared_ptr<ExecutableImage>> LoadImage(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  DCPI_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  return DeserializeImage(bytes);
+}
+
+}  // namespace dcpi

@@ -1,0 +1,23 @@
+// Executable image serialization: lets the command-line tools analyze
+// profiles offline, the way DCPI tools read images from the filesystem.
+
+#ifndef SRC_ISA_IMAGE_IO_H_
+#define SRC_ISA_IMAGE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "src/isa/image.h"
+#include "src/support/status.h"
+
+namespace dcpi {
+
+std::vector<uint8_t> SerializeImage(const ExecutableImage& image);
+Result<std::shared_ptr<ExecutableImage>> DeserializeImage(const std::vector<uint8_t>& bytes);
+
+Status SaveImage(const ExecutableImage& image, const std::string& path);
+Result<std::shared_ptr<ExecutableImage>> LoadImage(const std::string& path);
+
+}  // namespace dcpi
+
+#endif  // SRC_ISA_IMAGE_IO_H_

@@ -1,0 +1,252 @@
+#include "src/isa/instruction.h"
+
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+
+namespace dcpi {
+
+namespace {
+
+constexpr OpcodeInfo kOpcodeTable[] = {
+    // mnemonic, format, class, register bank
+    {"lda", InstrFormat::kMemory, InstrClass::kLoadAddress, RegBank::kInt},
+    {"ldah", InstrFormat::kMemory, InstrClass::kLoadAddress, RegBank::kInt},
+    {"ldq", InstrFormat::kMemory, InstrClass::kLoad, RegBank::kInt},
+    {"ldl", InstrFormat::kMemory, InstrClass::kLoad, RegBank::kInt},
+    {"stq", InstrFormat::kMemory, InstrClass::kStore, RegBank::kInt},
+    {"stl", InstrFormat::kMemory, InstrClass::kStore, RegBank::kInt},
+    {"ldt", InstrFormat::kMemory, InstrClass::kLoad, RegBank::kFp},
+    {"stt", InstrFormat::kMemory, InstrClass::kStore, RegBank::kFp},
+    {"addq", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"subq", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"mulq", InstrFormat::kOperate, InstrClass::kIntMul, RegBank::kInt},
+    {"and", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"bis", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"xor", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"sll", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"srl", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"sra", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmpeq", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmplt", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmple", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmpult", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmpule", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmoveq", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"cmovne", InstrFormat::kOperate, InstrClass::kIntOp, RegBank::kInt},
+    {"addt", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"subt", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"mult", InstrFormat::kOperate, InstrClass::kFpMul, RegBank::kFp},
+    {"divt", InstrFormat::kOperate, InstrClass::kFpDiv, RegBank::kFp},
+    {"cpys", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"cmptlt", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"cmpteq", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"cvtqt", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"cvttq", InstrFormat::kOperate, InstrClass::kFpOp, RegBank::kFp},
+    {"itoft", InstrFormat::kMemory, InstrClass::kIntOp, RegBank::kFp},
+    {"ftoit", InstrFormat::kMemory, InstrClass::kFpOp, RegBank::kInt},
+    {"br", InstrFormat::kBranch, InstrClass::kUncondBranch, RegBank::kInt},
+    {"bsr", InstrFormat::kBranch, InstrClass::kUncondBranch, RegBank::kInt},
+    {"beq", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kInt},
+    {"bne", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kInt},
+    {"blt", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kInt},
+    {"ble", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kInt},
+    {"bgt", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kInt},
+    {"bge", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kInt},
+    {"fbeq", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kFp},
+    {"fbne", InstrFormat::kBranch, InstrClass::kCondBranch, RegBank::kFp},
+    {"jmp", InstrFormat::kMemory, InstrClass::kJump, RegBank::kInt},
+    {"jsr", InstrFormat::kMemory, InstrClass::kJump, RegBank::kInt},
+    {"ret", InstrFormat::kMemory, InstrClass::kJump, RegBank::kInt},
+    {"mb", InstrFormat::kPal, InstrClass::kBarrier, RegBank::kInt},
+    {"call_pal", InstrFormat::kPal, InstrClass::kPal, RegBank::kInt},
+};
+
+static_assert(sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]) == kNumOpcodes,
+              "opcode table out of sync with Opcode enum");
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  return kOpcodeTable[static_cast<int>(op)];
+}
+
+std::optional<Opcode> OpcodeFromMnemonic(const std::string& mnemonic) {
+  static const std::unordered_map<std::string, Opcode>* map = [] {
+    auto* m = new std::unordered_map<std::string, Opcode>();
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      (*m)[kOpcodeTable[i].mnemonic] = static_cast<Opcode>(i);
+    }
+    return m;
+  }();
+  auto it = map->find(mnemonic);
+  if (it == map->end()) return std::nullopt;
+  return it->second;
+}
+
+std::string RegName(RegRef reg) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%c%d", reg.bank == RegBank::kInt ? 'r' : 'f', reg.index);
+  return buf;
+}
+
+int DecodedInst::SourceRegs(RegRef out[3]) const {
+  const OpcodeInfo& oi = info();
+  int n = 0;
+  auto add = [&](RegBank bank, uint8_t index) {
+    if (index != kZeroReg) out[n++] = RegRef{bank, index};
+  };
+  switch (op) {
+    case Opcode::kItoft:  // fa = bits(rb)
+      add(RegBank::kInt, rb);
+      return n;
+    case Opcode::kFtoit:  // ra = bits(fb)
+      add(RegBank::kFp, rb);
+      return n;
+    default:
+      break;
+  }
+  switch (oi.format) {
+    case InstrFormat::kMemory:
+      if (oi.klass == InstrClass::kStore) add(oi.reg_bank, ra);  // stored value
+      add(RegBank::kInt, rb);  // base register (jump target for jmp/jsr/ret)
+      return n;
+    case InstrFormat::kOperate:
+      add(oi.reg_bank, ra);
+      if (!has_literal) add(oi.reg_bank, rb);
+      if (op == Opcode::kCmoveq || op == Opcode::kCmovne) add(oi.reg_bank, rc);
+      return n;
+    case InstrFormat::kBranch:
+      if (oi.klass == InstrClass::kCondBranch) add(oi.reg_bank, ra);
+      return n;
+    case InstrFormat::kPal:
+      return n;
+  }
+  return n;
+}
+
+std::optional<RegRef> DecodedInst::DestReg() const {
+  const OpcodeInfo& oi = info();
+  switch (op) {
+    case Opcode::kItoft:
+      return RegRef{RegBank::kFp, ra};
+    case Opcode::kFtoit:
+      return RegRef{RegBank::kInt, ra};
+    default:
+      break;
+  }
+  switch (oi.format) {
+    case InstrFormat::kMemory:
+      if (oi.klass == InstrClass::kStore) return std::nullopt;
+      if (oi.klass == InstrClass::kJump) return RegRef{RegBank::kInt, ra};  // return address
+      return RegRef{oi.reg_bank, ra};  // loads and lda write their first operand
+    case InstrFormat::kOperate:
+      return RegRef{oi.reg_bank, rc};  // 3-register operates write their third
+    case InstrFormat::kBranch:
+      if (oi.klass == InstrClass::kUncondBranch) return RegRef{RegBank::kInt, ra};
+      return std::nullopt;
+    case InstrFormat::kPal:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+uint32_t Encode(const DecodedInst& inst) {
+  const OpcodeInfo& oi = inst.info();
+  uint32_t word = static_cast<uint32_t>(inst.op) << 26;
+  switch (oi.format) {
+    case InstrFormat::kMemory:
+    case InstrFormat::kBranch:
+      word |= static_cast<uint32_t>(inst.ra & 0x1f) << 21;
+      word |= static_cast<uint32_t>(inst.rb & 0x1f) << 16;
+      word |= static_cast<uint16_t>(inst.disp);
+      break;
+    case InstrFormat::kOperate:
+      word |= static_cast<uint32_t>(inst.ra & 0x1f) << 21;
+      if (inst.has_literal) {
+        word |= static_cast<uint32_t>(inst.literal) << 13;
+        word |= 1u << 12;
+      } else {
+        word |= static_cast<uint32_t>(inst.rb & 0x1f) << 16;
+      }
+      word |= inst.rc & 0x1f;
+      break;
+    case InstrFormat::kPal:
+      word |= static_cast<uint16_t>(inst.disp);
+      break;
+  }
+  return word;
+}
+
+std::optional<DecodedInst> Decode(uint32_t word) {
+  uint32_t opfield = word >> 26;
+  if (opfield >= static_cast<uint32_t>(kNumOpcodes)) return std::nullopt;
+  DecodedInst inst;
+  inst.op = static_cast<Opcode>(opfield);
+  const OpcodeInfo& oi = inst.info();
+  switch (oi.format) {
+    case InstrFormat::kMemory:
+    case InstrFormat::kBranch:
+      inst.ra = (word >> 21) & 0x1f;
+      inst.rb = (word >> 16) & 0x1f;
+      inst.disp = static_cast<int16_t>(word & 0xffff);
+      break;
+    case InstrFormat::kOperate:
+      inst.ra = (word >> 21) & 0x1f;
+      inst.has_literal = (word >> 12) & 1;
+      if (inst.has_literal) {
+        inst.literal = static_cast<uint8_t>((word >> 13) & 0xff);
+      } else {
+        inst.rb = (word >> 16) & 0x1f;
+      }
+      inst.rc = word & 0x1f;
+      break;
+    case InstrFormat::kPal:
+      inst.disp = static_cast<int16_t>(word & 0xffff);
+      break;
+  }
+  return inst;
+}
+
+std::string Disassemble(const DecodedInst& inst, uint64_t pc) {
+  const OpcodeInfo& oi = inst.info();
+  char buf[96];
+  char bank = oi.reg_bank == RegBank::kInt ? 'r' : 'f';
+  switch (oi.format) {
+    case InstrFormat::kMemory:
+      if (oi.klass == InstrClass::kJump) {
+        std::snprintf(buf, sizeof(buf), "%s r%d, (r%d)", oi.mnemonic, inst.ra, inst.rb);
+      } else if (inst.op == Opcode::kItoft) {
+        std::snprintf(buf, sizeof(buf), "itoft f%d, r%d", inst.ra, inst.rb);
+      } else if (inst.op == Opcode::kFtoit) {
+        std::snprintf(buf, sizeof(buf), "ftoit r%d, f%d", inst.ra, inst.rb);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s %c%d, %d(r%d)", oi.mnemonic, bank, inst.ra,
+                      inst.disp, inst.rb);
+      }
+      break;
+    case InstrFormat::kOperate:
+      if (inst.has_literal) {
+        std::snprintf(buf, sizeof(buf), "%s %c%d, %d, %c%d", oi.mnemonic, bank, inst.ra,
+                      inst.literal, bank, inst.rc);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s %c%d, %c%d, %c%d", oi.mnemonic, bank, inst.ra,
+                      bank, inst.rb, bank, inst.rc);
+      }
+      break;
+    case InstrFormat::kBranch:
+      std::snprintf(buf, sizeof(buf), "%s %c%d, 0x%06llx", oi.mnemonic, bank, inst.ra,
+                    static_cast<unsigned long long>(inst.BranchTarget(pc)));
+      break;
+    case InstrFormat::kPal:
+      if (inst.op == Opcode::kMb) {
+        std::snprintf(buf, sizeof(buf), "mb");
+      } else {
+        std::snprintf(buf, sizeof(buf), "call_pal %d", inst.disp);
+      }
+      break;
+  }
+  return buf;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,154 @@
+// Alpha-like instruction set used by the simulated machine.
+//
+// The ISA is a cleaned-up subset of the Alpha AXP architecture the DCPI
+// paper profiles on (21064/21164): 32-bit fixed-width instructions, 31
+// integer registers plus a hardwired zero (r31), 31 FP registers plus f31,
+// three instruction formats, and Alpha conventions (load/load-address
+// instructions write their first operand; 3-register operates write their
+// third).
+//
+// Formats (32 bits):
+//   Memory:  [31:26] opcode  [25:21] ra  [20:16] rb  [15:0] disp (signed)
+//   Operate: [31:26] opcode  [25:21] ra  [20:13] lit [12] litflag
+//            [20:16] rb (when litflag=0)              [4:0]  rc
+//   Branch:  [31:26] opcode  [25:21] ra  [15:0] disp (signed, in
+//            instruction words relative to the next instruction)
+//   Pal:     [31:26] opcode  [15:0] function
+
+#ifndef SRC_ISA_ISA_H_
+#define SRC_ISA_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dcpi {
+
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+inline constexpr int kZeroReg = 31;           // r31 and f31 read as zero
+inline constexpr int kReturnAddrReg = 26;     // ra register by convention
+inline constexpr int kStackReg = 30;          // sp by convention
+inline constexpr uint64_t kInstrBytes = 4;
+inline constexpr uint64_t kPageBytes = 8192;  // Alpha page size
+
+enum class Opcode : uint8_t {
+  // Memory format.
+  kLda,    // ra = rb + disp
+  kLdah,   // ra = rb + (disp << 16)
+  kLdq,    // ra = mem64[rb + disp]
+  kLdl,    // ra = sext(mem32[rb + disp])
+  kStq,    // mem64[rb + disp] = ra
+  kStl,    // mem32[rb + disp] = ra
+  kLdt,    // fa = fpmem64[rb + disp]
+  kStt,    // fpmem64[rb + disp] = fa
+  // Integer operate format.
+  kAddq,
+  kSubq,
+  kMulq,   // long-latency, occupies the integer multiplier
+  kAnd,
+  kBis,    // logical OR (Alpha name)
+  kXor,
+  kSll,
+  kSrl,
+  kSra,
+  kCmpeq,
+  kCmplt,
+  kCmple,
+  kCmpult,
+  kCmpule,
+  kCmoveq,  // rc = rb if ra == 0 (reads ra, rb, and old rc)
+  kCmovne,  // rc = rb if ra != 0
+  // FP operate format (register fields name f-registers).
+  kAddt,
+  kSubt,
+  kMult,
+  kDivt,    // long-latency, occupies the FP divider
+  kCpys,    // copy sign: fc = sign(fa), mantissa(fb); cpys f,f,g is fp move
+  kCmptlt,  // fc = (fa < fb) ? 2.0 : 0.0
+  kCmpteq,
+  kCvtqt,   // fc = (double) int64(fb)
+  kCvttq,   // fc = int64(fb) as bits (truncate)
+  // Integer-FP moves (memory-format encodings, register domains differ).
+  kItoft,   // fa = bits of rb
+  kFtoit,   // ra = bits of fb
+  // Branch format.
+  kBr,      // unconditional; ra = return address (r31 to discard)
+  kBsr,     // call; ra = return address
+  kBeq,
+  kBne,
+  kBlt,
+  kBle,
+  kBgt,
+  kBge,
+  kFbeq,    // FP branch if fa == 0.0
+  kFbne,
+  // Jump (memory format; target in rb, ra = return address).
+  kJmp,
+  kJsr,
+  kRet,
+  // Misc.
+  kMb,       // memory barrier (synchronization stall source)
+  kCallPal,  // PAL call; function in disp16
+  kOpcodeCount,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kOpcodeCount);
+
+// PAL function codes for kCallPal.
+enum class PalFunc : uint16_t {
+  kHalt = 0,    // terminate the current process
+  kYield = 1,   // give up the CPU voluntarily
+  kNopPal = 2,  // spend time in PAL mode (models PALcode blind spots)
+};
+
+enum class InstrFormat : uint8_t { kMemory, kOperate, kBranch, kPal };
+
+// Coarse execution class; the pipeline model maps classes to latencies,
+// functional units, and issue slots.
+enum class InstrClass : uint8_t {
+  kIntOp,       // single-cycle integer ALU
+  kIntMul,      // integer multiplier (IMUL unit)
+  kFpOp,        // FP add/sub/compare/convert/copy pipeline
+  kFpMul,
+  kFpDiv,       // FP divider (FDIV unit, non-pipelined)
+  kLoad,        // integer or FP load
+  kStore,       // integer or FP store (goes through the write buffer)
+  kLoadAddress, // lda/ldah: ALU op in memory format
+  kCondBranch,
+  kUncondBranch,  // br/bsr
+  kJump,          // jmp/jsr/ret
+  kBarrier,       // mb
+  kPal,
+};
+
+// Which register bank a register field names.
+enum class RegBank : uint8_t { kInt, kFp };
+
+struct RegRef {
+  RegBank bank;
+  uint8_t index;
+
+  bool IsZero() const { return index == kZeroReg; }
+  bool operator==(const RegRef&) const = default;
+};
+
+// Static per-opcode metadata.
+struct OpcodeInfo {
+  const char* mnemonic;
+  InstrFormat format;
+  InstrClass klass;
+  RegBank reg_bank;  // bank of the register fields (FP ops name f-registers)
+};
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+
+// Mnemonic lookup for the assembler. Returns nullopt for unknown mnemonics.
+std::optional<Opcode> OpcodeFromMnemonic(const std::string& mnemonic);
+
+// Register name: "r7", "f12", plus aliases "zero" (r31), "sp", "ra".
+std::string RegName(RegRef reg);
+
+}  // namespace dcpi
+
+#endif  // SRC_ISA_ISA_H_

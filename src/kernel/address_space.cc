@@ -1,0 +1,102 @@
+#include "src/kernel/address_space.h"
+
+#include <cstring>
+
+namespace dcpi {
+
+PredecodedImage::PredecodedImage(std::shared_ptr<const ExecutableImage> img)
+    : image(std::move(img)) {
+  text.reserve(image->num_instructions());
+  for (uint32_t word : image->text()) {
+    auto decoded = Decode(word);
+    text.push_back(decoded.value_or(DecodedInst{}));
+  }
+}
+
+const PredecodedImage* ImageRegistry::Register(std::shared_ptr<const ExecutableImage> image) {
+  if (const PredecodedImage* existing = Find(image.get())) return existing;
+  entries_.push_back(std::make_unique<PredecodedImage>(std::move(image)));
+  return entries_.back().get();
+}
+
+const PredecodedImage* ImageRegistry::Find(const ExecutableImage* image) const {
+  for (const auto& entry : entries_) {
+    if (entry->image.get() == image) return entry.get();
+  }
+  return nullptr;
+}
+
+Status AddressSpace::MapImage(const PredecodedImage* predecoded) {
+  const ExecutableImage& image = *predecoded->image;
+  mappings_.push_back({predecoded});
+  valid_ranges_.push_back({image.text_base(), image.text_end()});
+  if (image.data_size() > 0) {
+    valid_ranges_.push_back({image.data_base(), image.data_base() + image.data_size()});
+    // Copy initialized data into backing pages.
+    const std::vector<uint8_t>& init = image.data_init();
+    for (size_t i = 0; i < init.size(); ++i) {
+      uint64_t vaddr = image.data_base() + i;
+      PageFor(vaddr)[vaddr % kPageBytes] = init[i];
+    }
+  }
+  return Status::Ok();
+}
+
+Status AddressSpace::MapAnonymous(uint64_t start, uint64_t size) {
+  if (size == 0) return InvalidArgument("empty anonymous mapping");
+  valid_ranges_.push_back({start, start + size});
+  return Status::Ok();
+}
+
+bool AddressSpace::InValidRange(uint64_t vaddr, unsigned size) const {
+  for (const Range& r : valid_ranges_) {
+    if (vaddr >= r.start && vaddr + size <= r.end) return true;
+  }
+  return false;
+}
+
+uint8_t* AddressSpace::PageFor(uint64_t vaddr) {
+  uint64_t vpage = vaddr / kPageBytes;
+  auto it = pages_.find(vpage);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<uint8_t[]>(kPageBytes);
+    std::memset(page.get(), 0, kPageBytes);
+    it = pages_.emplace(vpage, std::move(page)).first;
+  }
+  return it->second.get();
+}
+
+bool AddressSpace::Load(uint64_t vaddr, unsigned size, uint64_t* out) {
+  if (!InValidRange(vaddr, size)) return false;
+  uint64_t value = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    uint64_t a = vaddr + i;
+    value |= static_cast<uint64_t>(PageFor(a)[a % kPageBytes]) << (8 * i);
+  }
+  *out = value;
+  return true;
+}
+
+bool AddressSpace::Store(uint64_t vaddr, unsigned size, uint64_t value) {
+  if (!InValidRange(vaddr, size)) return false;
+  for (unsigned i = 0; i < size; ++i) {
+    uint64_t a = vaddr + i;
+    PageFor(a)[a % kPageBytes] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return true;
+}
+
+const DecodedInst* AddressSpace::InstructionAt(uint64_t pc) {
+  if (last_text_hit_ != nullptr && last_text_hit_->image->ContainsPc(pc)) {
+    return &last_text_hit_->text[(pc - last_text_hit_->image->text_base()) / kInstrBytes];
+  }
+  for (const Mapping& m : mappings_) {
+    if (m.predecoded->image->ContainsPc(pc)) {
+      last_text_hit_ = m.predecoded;
+      return &m.predecoded->text[(pc - m.predecoded->image->text_base()) / kInstrBytes];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dcpi

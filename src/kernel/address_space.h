@@ -1,0 +1,85 @@
+// Process address spaces.
+//
+// An address space is a set of mapped images (text + data at their
+// prelinked addresses), anonymous regions (stack/heap), sparse backing
+// pages, and a per-process random page colouring used for physical cache
+// indexing. Instruction fetch goes through a shared predecode cache so the
+// simulator does not re-decode hot loops.
+
+#ifndef SRC_KERNEL_ADDRESS_SPACE_H_
+#define SRC_KERNEL_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/memory/memory_system.h"
+#include "src/support/status.h"
+
+namespace dcpi {
+
+// Predecoded text shared between all processes mapping an image.
+struct PredecodedImage {
+  std::shared_ptr<const ExecutableImage> image;
+  std::vector<DecodedInst> text;
+
+  explicit PredecodedImage(std::shared_ptr<const ExecutableImage> img);
+};
+
+// Global registry of predecoded images (one per kernel instance).
+class ImageRegistry {
+ public:
+  // Registers (or returns the existing) predecode for an image.
+  const PredecodedImage* Register(std::shared_ptr<const ExecutableImage> image);
+  const PredecodedImage* Find(const ExecutableImage* image) const;
+
+ private:
+  std::vector<std::unique_ptr<PredecodedImage>> entries_;
+};
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(uint64_t page_seed) : mapper_(page_seed) {}
+
+  // Maps an image's text and data sections at their prelinked addresses.
+  Status MapImage(const PredecodedImage* predecoded);
+
+  // Maps an anonymous zero-filled region (stack, heap).
+  Status MapAnonymous(uint64_t start, uint64_t size);
+
+  bool Load(uint64_t vaddr, unsigned size, uint64_t* out);
+  bool Store(uint64_t vaddr, unsigned size, uint64_t value);
+  uint64_t Translate(uint64_t vaddr) { return mapper_.Translate(vaddr); }
+
+  // Predecoded instruction at pc, or nullptr outside mapped text.
+  const DecodedInst* InstructionAt(uint64_t pc);
+
+  struct Mapping {
+    const PredecodedImage* predecoded;
+  };
+  const std::vector<Mapping>& mappings() const { return mappings_; }
+
+  // Approximate resident size (for the Table 5 style accounting).
+  uint64_t touched_bytes() const { return pages_.size() * kPageBytes; }
+
+ private:
+  bool InValidRange(uint64_t vaddr, unsigned size) const;
+  uint8_t* PageFor(uint64_t vaddr);
+
+  struct Range {
+    uint64_t start;
+    uint64_t end;
+  };
+
+  PageMapper mapper_;
+  std::vector<Mapping> mappings_;
+  std::vector<Range> valid_ranges_;
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  const PredecodedImage* last_text_hit_ = nullptr;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_KERNEL_ADDRESS_SPACE_H_

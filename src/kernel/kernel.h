@@ -1,0 +1,93 @@
+// The simulated operating system: image loader, process table, and a
+// round-robin multi-CPU scheduler.
+//
+// The kernel plays the roles DIGITAL Unix plays for DCPI:
+//   * the modified /sbin/loader: every image mapping emits a loader event
+//     the profiling daemon consumes to build per-process load maps;
+//   * the scheduler: context switches execute a real `swtch` routine from a
+//     simulated `vmunix` image, and idle CPUs execute its `idle_loop`, so
+//     kernel time is profiled exactly like user code (Figure 1 lists
+//     /vmunix rows);
+//   * PID management and process reaping.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cpu.h"
+#include "src/kernel/process.h"
+
+namespace dcpi {
+
+struct KernelConfig {
+  uint32_t num_cpus = 1;
+  uint64_t quantum_cycles = 50'000;
+  CpuConfig cpu;
+  uint64_t seed = 1;  // page-colouring and layout randomization
+};
+
+struct LoaderEvent {
+  enum class Kind { kLoadImage, kProcessExit };
+  Kind kind;
+  uint32_t pid = 0;
+  std::shared_ptr<const ExecutableImage> image;  // kLoadImage only
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config);
+
+  // Attaches a performance monitor to a CPU (the perfctr subsystem).
+  void SetMonitor(uint32_t cpu_index, PerfMonitor* monitor);
+
+  // Creates a process mapping `images` (plus a stack), with the initial PC
+  // at procedure `entry_proc` (searched across the images).
+  Result<Process*> CreateProcess(const std::string& name,
+                                 std::vector<std::shared_ptr<ExecutableImage>> images,
+                                 const std::string& entry_proc);
+
+  // Runs until every process is done or every CPU reaches `max_cycles`.
+  void Run(uint64_t max_cycles = ~0ull);
+
+  std::vector<LoaderEvent> DrainLoaderEvents();
+
+  Cpu& cpu(uint32_t index) { return *cpus_[index]; }
+  uint32_t num_cpus() const { return static_cast<uint32_t>(cpus_.size()); }
+  GroundTruth& ground_truth() { return ground_truth_; }
+  const std::shared_ptr<const ExecutableImage>& vmunix() const { return vmunix_; }
+  const std::vector<std::unique_ptr<Process>>& processes() const { return processes_; }
+
+  // Longest per-CPU clock: the workload's elapsed time.
+  uint64_t ElapsedCycles() const;
+
+  // True if any process terminated abnormally (bad PC / bad memory).
+  bool HadProcessError() const { return had_error_; }
+
+ private:
+  void RunKernelProc(uint32_t cpu_index, uint64_t entry_pc);
+  Process* NextReady();
+
+  KernelConfig config_;
+  ImageRegistry registry_;
+  GroundTruth ground_truth_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::deque<Process*> ready_;
+  std::vector<LoaderEvent> loader_events_;
+  uint32_t next_pid_ = 1;
+  bool had_error_ = false;
+
+  std::shared_ptr<const ExecutableImage> vmunix_;
+  std::unique_ptr<Process> kernel_proc_;  // pid 0, maps vmunix
+  uint64_t idle_entry_ = 0;
+  uint64_t swtch_entry_ = 0;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,66 @@
+#include "src/memory/cache.h"
+
+#include <cassert>
+
+namespace dcpi {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  assert(config.line_bytes > 0 && config.associativity > 0);
+  assert(config.size_bytes % (config.line_bytes * config.associativity) == 0);
+  num_sets_ = config.size_bytes / (config.line_bytes * config.associativity);
+  ways_.resize(num_sets_ * config.associativity);
+}
+
+bool Cache::Access(uint64_t paddr) {
+  uint64_t set = SetIndex(paddr);
+  uint64_t tag = Tag(paddr);
+  Way* base = &ways_[set * config_.associativity];
+  ++use_clock_;
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].last_use = use_clock_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  // Fill: LRU victim (invalid ways first).
+  Way* victim = &base[0];
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = use_clock_;
+  return false;
+}
+
+bool Cache::Probe(uint64_t paddr) const {
+  uint64_t set = SetIndex(paddr);
+  uint64_t tag = Tag(paddr);
+  const Way* base = &ways_[set * config_.associativity];
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::InvalidateLine(uint64_t paddr) {
+  uint64_t set = SetIndex(paddr);
+  uint64_t tag = Tag(paddr);
+  Way* base = &ways_[set * config_.associativity];
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) base[w].valid = false;
+  }
+}
+
+void Cache::Clear() {
+  for (Way& w : ways_) w.valid = false;
+  use_clock_ = 0;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,34 @@
+#include "src/memory/tlb.h"
+
+namespace dcpi {
+
+bool Tlb::Access(uint64_t vaddr) {
+  uint64_t vpage = vaddr / kPageBytes;
+  ++use_clock_;
+  for (Entry& e : slots_) {
+    if (e.vpage == vpage) {
+      e.last_use = use_clock_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  if (slots_.size() < entries_) {
+    slots_.push_back({vpage, use_clock_});
+    return false;
+  }
+  Entry* victim = &slots_[0];
+  for (Entry& e : slots_) {
+    if (e.last_use < victim->last_use) victim = &e;
+  }
+  victim->vpage = vpage;
+  victim->last_use = use_clock_;
+  return false;
+}
+
+void Tlb::Clear() {
+  slots_.clear();
+  use_clock_ = 0;
+}
+
+}  // namespace dcpi

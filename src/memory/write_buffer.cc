@@ -1,0 +1,48 @@
+#include "src/memory/write_buffer.h"
+
+namespace dcpi {
+
+WriteBuffer::PushResult WriteBuffer::Push(uint64_t paddr, uint64_t cycle,
+                                          uint64_t drain_latency) {
+  ++stats_.stores;
+  uint64_t line = paddr / line_bytes_;
+  // Merge with a busy entry holding the same line.
+  for (size_t i = 0; i < free_at_.size(); ++i) {
+    if (free_at_[i] > cycle && line_of_[i] == line) {
+      ++stats_.merges;
+      return {cycle, 0, true};
+    }
+  }
+  // Earliest-free entry.
+  size_t best = 0;
+  for (size_t i = 1; i < free_at_.size(); ++i) {
+    if (free_at_[i] < free_at_[best]) best = i;
+  }
+  uint64_t issue = cycle;
+  if (free_at_[best] > cycle) {
+    issue = free_at_[best];
+    ++stats_.overflow_stalls;
+    stats_.overflow_stall_cycles += issue - cycle;
+  }
+  free_at_[best] = issue + drain_latency;
+  line_of_[best] = line;
+  return {issue, issue - cycle, false};
+}
+
+uint64_t WriteBuffer::EarliestIssue(uint64_t paddr, uint64_t cycle) const {
+  uint64_t line = paddr / line_bytes_;
+  uint64_t best = ~0ull;
+  for (size_t i = 0; i < free_at_.size(); ++i) {
+    if (free_at_[i] > cycle && line_of_[i] == line) return cycle;  // mergeable
+    best = std::min(best, free_at_[i]);
+  }
+  return std::max(cycle, best);
+}
+
+uint64_t WriteBuffer::DrainAllTime() const {
+  uint64_t latest = 0;
+  for (uint64_t t : free_at_) latest = std::max(latest, t);
+  return latest;
+}
+
+}  // namespace dcpi

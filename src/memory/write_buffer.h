@@ -1,0 +1,62 @@
+// The 21164's six-entry write buffer.
+//
+// Stores retire through the write buffer; when all entries are busy draining
+// to the board cache / memory, a store stalls at issue ("write buffer
+// overflow" in the paper's stall taxonomy, the 'w' bubble in Figure 2).
+// Adjacent stores to the same line merge into the busy entry.
+
+#ifndef SRC_MEMORY_WRITE_BUFFER_H_
+#define SRC_MEMORY_WRITE_BUFFER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dcpi {
+
+struct WriteBufferStats {
+  uint64_t stores = 0;
+  uint64_t merges = 0;
+  uint64_t overflow_stalls = 0;
+  uint64_t overflow_stall_cycles = 0;
+};
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(uint32_t entries, uint64_t line_bytes)
+      : line_bytes_(line_bytes), free_at_(entries, 0), line_of_(entries, ~0ull) {}
+
+  struct PushResult {
+    uint64_t issue_cycle;   // when the store could actually issue (>= `cycle`)
+    uint64_t stall_cycles;  // issue_cycle - cycle (overflow stall)
+    bool merged;
+  };
+
+  // Requests a write-buffer slot for a store to `paddr` at time `cycle`;
+  // `drain_latency` is how long the entry stays busy writing back.
+  PushResult Push(uint64_t paddr, uint64_t cycle, uint64_t drain_latency);
+
+  // Earliest cycle (>= `cycle`) at which a store to `paddr` could take a
+  // slot, without mutating state (used to compute issue constraints).
+  uint64_t EarliestIssue(uint64_t paddr, uint64_t cycle) const;
+
+  // Cycle by which every entry has drained (memory-barrier constraint).
+  uint64_t DrainAllTime() const;
+
+  void Clear() {
+    std::fill(free_at_.begin(), free_at_.end(), 0);
+    std::fill(line_of_.begin(), line_of_.end(), ~0ull);
+  }
+
+  const WriteBufferStats& stats() const { return stats_; }
+
+ private:
+  uint64_t line_bytes_;
+  std::vector<uint64_t> free_at_;  // per-entry cycle when the entry drains
+  std::vector<uint64_t> line_of_;  // line address the busy entry holds
+  WriteBufferStats stats_;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_MEMORY_WRITE_BUFFER_H_

@@ -1,0 +1,45 @@
+// Profile-guided code layout (the Section 7 / Spike-OM consumer).
+//
+// The paper's stated purpose for DCPI profiles is to feed optimizers —
+// "work is underway to feed the output of our tools into ... the Spike/OM
+// post-linker optimization framework". This module implements the classic
+// post-link transformation those frameworks start with: reordering
+// procedures by profile hotness so the hot set packs into the I-cache
+// instead of colliding in it, optionally aligning hot procedure entries to
+// cache lines.
+//
+// The rewriter relocates whole procedures rigidly and fixes up:
+//   * branch-format displacements whose target moved (calls and branches
+//     across procedures);
+//   * ldah/lda pairs that materialize absolute addresses inside this
+//     image's text (computed jumps).
+// Data addresses and cross-image references are position-independent under
+// this transformation and need no fixups.
+
+#ifndef SRC_OPTIMIZE_LAYOUT_H_
+#define SRC_OPTIMIZE_LAYOUT_H_
+
+#include <memory>
+
+#include "src/isa/image.h"
+#include "src/profiledb/profile.h"
+
+namespace dcpi {
+
+struct LayoutOptions {
+  // Align the entry of procedures carrying at least this share of samples
+  // to an I-cache line boundary (0 disables alignment).
+  double hot_alignment_threshold = 0.01;
+  uint64_t icache_line_bytes = 32;
+};
+
+// Returns a new image (same name + ".hot", same text_base) with procedures
+// ordered by decreasing CYCLES samples. Instructions outside any procedure
+// keep their relative order after all procedures.
+Result<std::shared_ptr<ExecutableImage>> ReorderProceduresByHotness(
+    const ExecutableImage& image, const ImageProfile& cycles,
+    const LayoutOptions& options = LayoutOptions());
+
+}  // namespace dcpi
+
+#endif  // SRC_OPTIMIZE_LAYOUT_H_

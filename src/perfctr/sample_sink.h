@@ -1,0 +1,26 @@
+// Destination for performance-counter samples: in the real system this is
+// the DCPI device driver's interrupt handler (src/driver implements it).
+
+#ifndef SRC_PERFCTR_SAMPLE_SINK_H_
+#define SRC_PERFCTR_SAMPLE_SINK_H_
+
+#include <cstdint>
+
+#include "src/cpu/event.h"
+
+namespace dcpi {
+
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+
+  // Handles one sample on `cpu_id`. Returns the interrupt-handler cost in
+  // cycles, which the CPU model charges to the profiled machine (this is
+  // how the paper's 1-3% overhead arises).
+  virtual uint64_t DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
+                                 EventType event) = 0;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_PERFCTR_SAMPLE_SINK_H_

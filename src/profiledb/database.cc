@@ -1,0 +1,186 @@
+#include "src/profiledb/database.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "src/support/binary_io.h"
+
+namespace dcpi {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44435049;  // "DCPI"
+constexpr uint8_t kVersion = 2;          // 2 = varint delta format
+
+}  // namespace
+
+void ImageProfile::Merge(const ImageProfile& other) {
+  for (const auto& [offset, count] : other.counts_) counts_[offset] += count;
+  if (mean_period_ == 0) mean_period_ = other.mean_period_;
+}
+
+uint64_t ImageProfile::total_samples() const {
+  uint64_t total = 0;
+  for (const auto& [offset, count] : counts_) total += count;
+  return total;
+}
+
+std::vector<uint8_t> SerializeProfile(const ImageProfile& profile) {
+  ByteWriter writer;
+  writer.PutU32(kMagic);
+  writer.PutU8(kVersion);
+  writer.PutString(profile.image_name());
+  writer.PutU8(static_cast<uint8_t>(profile.event()));
+  uint64_t period_bits;
+  double period = profile.mean_period();
+  std::memcpy(&period_bits, &period, sizeof(period_bits));
+  writer.PutU64(period_bits);
+  writer.PutVarint(profile.counts().size());
+  uint64_t prev_offset = 0;
+  for (const auto& [offset, count] : profile.counts()) {
+    writer.PutVarint(offset - prev_offset);  // ordered map: deltas are small
+    writer.PutVarint(count);
+    prev_offset = offset;
+  }
+  return writer.bytes();
+}
+
+std::vector<uint8_t> SerializeProfileFixedWidth(const ImageProfile& profile) {
+  ByteWriter writer;
+  writer.PutU32(kMagic);
+  writer.PutU8(1);  // version 1: fixed-width records
+  writer.PutString(profile.image_name());
+  writer.PutU8(static_cast<uint8_t>(profile.event()));
+  uint64_t period_bits;
+  double period = profile.mean_period();
+  std::memcpy(&period_bits, &period, sizeof(period_bits));
+  writer.PutU64(period_bits);
+  writer.PutU64(profile.counts().size());
+  for (const auto& [offset, count] : profile.counts()) {
+    writer.PutU64(offset);
+    writer.PutU64(count);
+  }
+  return writer.bytes();
+}
+
+Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kMagic) return IoError("bad profile magic");
+  uint8_t version = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU8(&version));
+  if (version != kVersion && version != 1) return IoError("unsupported profile version");
+  std::string image_name;
+  DCPI_RETURN_IF_ERROR(reader.GetString(&image_name));
+  uint8_t event = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU8(&event));
+  if (event >= kNumEventTypes) return IoError("bad event type");
+  uint64_t period_bits = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU64(&period_bits));
+  double period;
+  std::memcpy(&period, &period_bits, sizeof(period));
+
+  ImageProfile profile(image_name, static_cast<EventType>(event), period);
+  if (version == kVersion) {
+    uint64_t entries = 0;
+    DCPI_RETURN_IF_ERROR(reader.GetVarint(&entries));
+    uint64_t offset = 0;
+    for (uint64_t i = 0; i < entries; ++i) {
+      uint64_t delta = 0, count = 0;
+      DCPI_RETURN_IF_ERROR(reader.GetVarint(&delta));
+      DCPI_RETURN_IF_ERROR(reader.GetVarint(&count));
+      offset += delta;
+      profile.AddSamples(offset, count);
+    }
+  } else {
+    uint64_t entries = 0;
+    DCPI_RETURN_IF_ERROR(reader.GetU64(&entries));
+    for (uint64_t i = 0; i < entries; ++i) {
+      uint64_t offset = 0, count = 0;
+      DCPI_RETURN_IF_ERROR(reader.GetU64(&offset));
+      DCPI_RETURN_IF_ERROR(reader.GetU64(&count));
+      profile.AddSamples(offset, count);
+    }
+  }
+  return profile;
+}
+
+ProfileDatabase::ProfileDatabase(std::string root_dir) : root_(std::move(root_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+}
+
+std::string ProfileDatabase::EpochDir(uint32_t epoch) const {
+  return root_ + "/epoch_" + std::to_string(epoch);
+}
+
+std::string ProfileDatabase::ProfileFileName(const std::string& image_name,
+                                             EventType event) {
+  std::string sanitized;
+  for (char c : image_name) sanitized += (c == '/' ? '_' : c);
+  return sanitized + "__" + EventTypeName(event) + ".prof";
+}
+
+Result<uint32_t> ProfileDatabase::NewEpoch() {
+  uint32_t epoch = have_epoch_ ? current_epoch_ + 1 : 0;
+  std::error_code ec;
+  std::filesystem::create_directories(EpochDir(epoch), ec);
+  if (ec) return IoError("cannot create epoch dir: " + ec.message());
+  current_epoch_ = epoch;
+  have_epoch_ = true;
+  return epoch;
+}
+
+Status ProfileDatabase::WriteProfile(const ImageProfile& profile) {
+  if (!have_epoch_) {
+    Result<uint32_t> epoch = NewEpoch();
+    if (!epoch.ok()) return epoch.status();
+  }
+  std::string path = EpochDir(current_epoch_) + "/" +
+                     ProfileFileName(profile.image_name(), profile.event());
+  ImageProfile merged = profile;
+  std::vector<uint8_t> existing;
+  if (ReadFile(path, &existing).ok()) {
+    Result<ImageProfile> prior = DeserializeProfile(existing);
+    if (prior.ok()) merged.Merge(prior.value());
+  }
+  return WriteFile(path, SerializeProfile(merged));
+}
+
+Result<ImageProfile> ProfileDatabase::ReadProfile(uint32_t epoch,
+                                                  const std::string& image_name,
+                                                  EventType event) const {
+  std::string path = EpochDir(epoch) + "/" + ProfileFileName(image_name, event);
+  std::vector<uint8_t> bytes;
+  DCPI_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  return DeserializeProfile(bytes);
+}
+
+Result<std::vector<std::string>> ProfileDatabase::ListProfiles(uint32_t epoch) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(EpochDir(epoch), ec);
+  if (ec) return IoError("cannot list epoch: " + ec.message());
+  for (const auto& entry : it) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+uint64_t ProfileDatabase::DiskUsageBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(root_, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    std::error_code size_ec;
+    if (entry.is_regular_file(size_ec)) total += entry.file_size(size_ec);
+  }
+  return total;
+}
+
+}  // namespace dcpi

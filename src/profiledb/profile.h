@@ -1,0 +1,54 @@
+// In-memory profile for one (image, event) pair: sample counts keyed by
+// instruction byte offset within the image.
+
+#ifndef SRC_PROFILEDB_PROFILE_H_
+#define SRC_PROFILEDB_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/cpu/event.h"
+
+namespace dcpi {
+
+class ImageProfile {
+ public:
+  ImageProfile() = default;
+  ImageProfile(std::string image_name, EventType event, double mean_period)
+      : image_name_(std::move(image_name)), event_(event), mean_period_(mean_period) {}
+
+  const std::string& image_name() const { return image_name_; }
+  EventType event() const { return event_; }
+
+  // Mean sampling period for the event: a sample represents ~mean_period
+  // events (cycles for CYCLES). Tools use it to convert counts to time.
+  double mean_period() const { return mean_period_; }
+  void set_mean_period(double period) { mean_period_ = period; }
+
+  void AddSamples(uint64_t offset, uint64_t count) { counts_[offset] += count; }
+  void Merge(const ImageProfile& other);
+
+  // Samples at an offset (0 if none).
+  uint64_t SamplesAt(uint64_t offset) const {
+    auto it = counts_.find(offset);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  uint64_t total_samples() const;
+  size_t distinct_offsets() const { return counts_.size(); }
+  const std::map<uint64_t, uint64_t>& counts() const { return counts_; }
+
+  // Approximate in-memory footprint (daemon space accounting, Table 5).
+  uint64_t memory_bytes() const { return counts_.size() * 48 + 64; }
+
+ private:
+  std::string image_name_;
+  EventType event_ = EventType::kCycles;
+  double mean_period_ = 0;
+  std::map<uint64_t, uint64_t> counts_;  // offset -> samples, ordered for delta coding
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_PROFILEDB_PROFILE_H_

@@ -1,0 +1,115 @@
+#include "src/sim/system.h"
+
+namespace dcpi {
+
+const char* ProfilingModeName(ProfilingMode mode) {
+  switch (mode) {
+    case ProfilingMode::kBase:
+      return "base";
+    case ProfilingMode::kCycles:
+      return "cycles";
+    case ProfilingMode::kDefault:
+      return "default";
+    case ProfilingMode::kMux:
+      return "mux";
+  }
+  return "unknown";
+}
+
+namespace {
+
+PerfCountersConfig CountersFor(ProfilingMode mode) {
+  switch (mode) {
+    case ProfilingMode::kCycles:
+      return PerfCountersConfig::Cycles();
+    case ProfilingMode::kDefault:
+      return PerfCountersConfig::Default();
+    case ProfilingMode::kMux:
+      return PerfCountersConfig::Mux();
+    case ProfilingMode::kBase:
+      break;
+  }
+  return PerfCountersConfig();
+}
+
+}  // namespace
+
+System::System(const SystemConfig& config) : config_(config) {
+  kernel_ = std::make_unique<Kernel>(config.kernel);
+  if (config.mode == ProfilingMode::kBase) return;
+
+  DriverConfig driver_config = config.driver;
+  if (config.free_profiling) {
+    driver_config.intr_setup_cycles = 0;
+    driver_config.hit_body_cycles = 0;
+    driver_config.miss_body_cycles = 0;
+  }
+  driver_ = std::make_unique<DcpiDriver>(config.kernel.num_cpus, driver_config);
+  if (!config.db_root.empty()) {
+    database_ = std::make_unique<ProfileDatabase>(config.db_root);
+  }
+
+  PerfCountersConfig counters_config = CountersFor(config.mode);
+  counters_config.rng_seed = config.rng_seed;
+  counters_config.double_sampling = config.double_sampling;
+  if (config.period_scale != 1.0) {
+    counters_config = counters_config.WithPeriodScale(config.period_scale);
+  }
+
+  std::vector<double> mean_periods(kNumEventTypes, 0.0);
+  for (uint32_t cpu = 0; cpu < config.kernel.num_cpus; ++cpu) {
+    counters_.push_back(
+        std::make_unique<PerfCounters>(cpu, counters_config, driver_.get()));
+    kernel_->SetMonitor(cpu, counters_.back().get());
+  }
+  if (!counters_.empty()) {
+    for (int e = 0; e < kNumEventTypes; ++e) {
+      mean_periods[e] = counters_[0]->MeanPeriod(static_cast<EventType>(e));
+    }
+  }
+  daemon_ = std::make_unique<Daemon>(driver_.get(), database_.get(), mean_periods);
+}
+
+SystemResult System::Run(uint64_t max_cycles) {
+  SystemResult result;
+  uint64_t next_drain = config_.daemon_drain_interval;
+  while (true) {
+    uint64_t chunk_end = std::min(max_cycles, next_drain);
+    kernel_->Run(chunk_end);
+    if (daemon_ != nullptr) {
+      daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+      driver_->FlushAll();
+    }
+    bool all_done = true;
+    for (const auto& p : kernel_->processes()) {
+      if (p->state() != ProcessState::kDone) all_done = false;
+    }
+    if (all_done || kernel_->ElapsedCycles() >= max_cycles) break;
+    next_drain += config_.daemon_drain_interval;
+  }
+  if (daemon_ != nullptr) {
+    daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+    Status flushed = daemon_->FlushToDatabase();
+    (void)flushed;
+  }
+
+  result.elapsed_cycles = kernel_->ElapsedCycles();
+  result.had_error = kernel_->HadProcessError();
+  for (uint32_t cpu = 0; cpu < kernel_->num_cpus(); ++cpu) {
+    result.instructions += kernel_->cpu(cpu).stats().instructions;
+  }
+  if (driver_ != nullptr) result.driver_total = driver_->TotalStats();
+  if (daemon_ != nullptr) result.daemon = daemon_->stats();
+  for (const auto& counters : counters_) {
+    for (int e = 0; e < kNumEventTypes; ++e) {
+      result.samples[e] += counters->stats().samples[e];
+    }
+  }
+  // The daemon competes for CPU with the workload; spread its modelled
+  // cycles across the machine for the slowdown accounting.
+  result.busy_cycles_with_daemon =
+      result.elapsed_cycles + result.daemon.daemon_cycles / kernel_->num_cpus();
+  return result;
+}
+
+}  // namespace dcpi

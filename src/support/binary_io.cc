@@ -1,0 +1,35 @@
+#include "src/support/binary_io.h"
+
+#include <cstdio>
+
+namespace dcpi {
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot open for write: " + path);
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return IoError("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  bytes->resize(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(bytes->data(), 1, bytes->size(), f);
+  std::fclose(f);
+  if (read != bytes->size()) return IoError("short read: " + path);
+  return Status::Ok();
+}
+
+}  // namespace dcpi

@@ -1,0 +1,125 @@
+// Binary serialization helpers for the compact on-disk profile format:
+// little-endian fixed-width writes and LEB128-style varints (the profile
+// files delta-encode instruction offsets, so varints give the ~3x
+// compression the paper's "improved format" reports).
+
+#ifndef SRC_SUPPORT_BINARY_IO_H_
+#define SRC_SUPPORT_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace dcpi {
+
+// Append-only byte buffer writer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  // Unsigned LEB128.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+  }
+
+  // Length-prefixed string.
+  void PutString(const std::string& s) {
+    PutVarint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Sequential reader over a byte span. All getters return an error Status on
+// truncated input instead of reading out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Status GetU8(uint8_t* out) {
+    if (pos_ + 1 > size_) return TruncatedError();
+    *out = data_[pos_++];
+    return Status::Ok();
+  }
+
+  Status GetU32(uint32_t* out) {
+    if (pos_ + 4 > size_) return TruncatedError();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status GetU64(uint64_t* out) {
+    if (pos_ + 8 > size_) return TruncatedError();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status GetVarint(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= size_) return TruncatedError();
+      uint8_t byte = data_[pos_++];
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = v;
+        return Status::Ok();
+      }
+    }
+    return IoError("varint too long");
+  }
+
+  Status GetString(std::string* out) {
+    uint64_t len = 0;
+    DCPI_RETURN_IF_ERROR(GetVarint(&len));
+    if (pos_ + len > size_) return TruncatedError();
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status TruncatedError() const { return IoError("truncated input"); }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Whole-file helpers.
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+Status ReadFile(const std::string& path, std::vector<uint8_t>* bytes);
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_BINARY_IO_H_

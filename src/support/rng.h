@@ -1,0 +1,89 @@
+// Pseudo-random number generators.
+//
+// CartaRng implements the "minimal standard" Lehmer generator from
+// D. Carta, "Two fast implementations of the 'minimal standard' random
+// number generator", CACM 33(1), 1990 — the generator the DCPI paper cites
+// ([4]) for randomizing the sampling period inside the interrupt handler.
+// It is multiplication-free in Carta's formulation and cheap enough for an
+// interrupt path.
+//
+// SplitMix64 is used for everything that is not modelling the paper's
+// interrupt-handler RNG (workload data initialization, page colouring).
+
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace dcpi {
+
+// Lehmer generator x' = 16807 * x mod (2^31 - 1), computed with Carta's
+// carry-folding trick (no division). State must stay in [1, 2^31 - 2].
+class CartaRng {
+ public:
+  explicit CartaRng(uint32_t seed = 1) { Reseed(seed); }
+
+  // Resets the state; any seed is folded into the legal range.
+  void Reseed(uint32_t seed) {
+    state_ = seed % kModulus;
+    if (state_ == 0) state_ = 1;
+  }
+
+  // Next raw value in [1, 2^31 - 2].
+  uint32_t Next() {
+    // 16807 * state is at most ~2^45; split into low 31 bits and high bits
+    // and fold: (lo + hi) mod (2^31 - 1), per Carta.
+    uint64_t product = static_cast<uint64_t>(state_) * kMultiplier;
+    uint32_t lo = static_cast<uint32_t>(product & kModulus);
+    uint32_t hi = static_cast<uint32_t>(product >> 31);
+    uint32_t sum = lo + hi;
+    if (sum >= kModulus) sum -= kModulus;
+    state_ = sum;
+    return state_;
+  }
+
+  // Uniform value in [lo, hi], inclusive. Used for the sampling period,
+  // e.g. UniformInRange(60 * 1024, 64 * 1024).
+  uint64_t UniformInRange(uint64_t lo, uint64_t hi) {
+    uint64_t span = hi - lo + 1;
+    return lo + Next() % span;
+  }
+
+  uint32_t state() const { return state_; }
+
+  static constexpr uint32_t kMultiplier = 16807;
+  static constexpr uint32_t kModulus = 0x7fffffff;  // 2^31 - 1
+
+ private:
+  uint32_t state_;
+};
+
+// SplitMix64: fast 64-bit generator for simulation setup (not on the
+// modelled interrupt path).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_RNG_H_

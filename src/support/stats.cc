@@ -1,0 +1,116 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcpi {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+namespace {
+
+// Two-sided 95% Student-t critical values for small n; converges to 1.96.
+double TCritical95(size_t df) {
+  static const double kTable[] = {0,     12.71, 4.303, 3.182, 2.776, 2.571,
+                                  2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
+                                  2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+                                  2.101, 2.093, 2.086};
+  if (df == 0) return 0.0;
+  if (df < sizeof(kTable) / sizeof(kTable[0])) return kTable[df];
+  if (df < 30) return 2.05;
+  if (df < 60) return 2.00;
+  return 1.96;
+}
+
+}  // namespace
+
+double RunningStat::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  double se = stddev() / std::sqrt(static_cast<double>(count_));
+  return TCritical95(count_ - 1) * se;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+// Buckets: (-inf,-45), [-45,-40), ..., [-5,0), [0,5), ..., [40,45), [45,inf)
+// => 2 tails + 18 interior = 20 buckets.
+constexpr int kInterior = 18;
+constexpr double kBucketWidth = 5.0;
+constexpr double kEdge = 45.0;
+}  // namespace
+
+ErrorHistogram::ErrorHistogram() : counts_(kInterior + 2, 0.0) {}
+
+void ErrorHistogram::Add(double error_percent, double weight) {
+  size_t idx;
+  if (error_percent < -kEdge) {
+    idx = 0;
+  } else if (error_percent >= kEdge) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = 1 + static_cast<size_t>((error_percent + kEdge) / kBucketWidth);
+    idx = std::min(idx, counts_.size() - 2);
+  }
+  counts_[idx] += weight;
+  total_weight_ += weight;
+  raw_.emplace_back(error_percent, weight);
+}
+
+std::string ErrorHistogram::BucketLabel(size_t i) const {
+  if (i == 0) return "<-45";
+  if (i == counts_.size() - 1) return ">=45";
+  double lo = -kEdge + static_cast<double>(i - 1) * kBucketWidth;
+  return std::to_string(static_cast<int>(lo));
+}
+
+double ErrorHistogram::BucketPercent(size_t i) const {
+  if (total_weight_ <= 0) return 0.0;
+  return 100.0 * counts_[i] / total_weight_;
+}
+
+double ErrorHistogram::FractionWithin(double threshold_percent) const {
+  if (total_weight_ <= 0) return 0.0;
+  double within = 0.0;
+  for (const auto& [err, w] : raw_) {
+    if (std::fabs(err) <= threshold_percent) within += w;
+  }
+  return within / total_weight_;
+}
+
+}  // namespace dcpi

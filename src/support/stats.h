@@ -1,0 +1,75 @@
+// Small statistics helpers used by dcpistats, the overhead tables, and the
+// accuracy experiments: running moments, 95% confidence intervals, Pearson
+// correlation, and a fixed-bucket error histogram (Figs 8 and 9).
+
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcpi {
+
+// Accumulates count / mean / variance / min / max in one pass (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const;
+
+  // Half-width of the 95% confidence interval on the mean, using a
+  // two-sided Student-t critical value for the sample size.
+  double ci95_halfwidth() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Pearson correlation coefficient of two equal-length series.
+// Returns 0 when either series has zero variance or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Histogram over signed-percent-error buckets, matching the paper's Figs 8/9:
+// buckets are 5%-wide from -45% to +45% with open-ended tails. Each sample is
+// added with a weight (CYCLES samples for Fig 8, edge executions for Fig 9).
+class ErrorHistogram {
+ public:
+  ErrorHistogram();
+
+  // error_percent = 100 * (estimate - truth) / truth.
+  void Add(double error_percent, double weight);
+
+  size_t num_buckets() const { return counts_.size(); }
+  // Label of the bucket, e.g. "-15" for errors in [-15%, -10%).
+  std::string BucketLabel(size_t i) const;
+  double BucketPercent(size_t i) const;  // weight share of bucket i, in percent
+
+  // Total weight with |error| <= threshold_percent (interpolates nothing;
+  // uses exact recorded errors).
+  double FractionWithin(double threshold_percent) const;
+
+  double total_weight() const { return total_weight_; }
+
+ private:
+  std::vector<double> counts_;
+  std::vector<std::pair<double, double>> raw_;  // (error, weight)
+  double total_weight_ = 0.0;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_STATS_H_

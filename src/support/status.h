@@ -1,0 +1,125 @@
+// Lightweight status / result types used across the DCPI reproduction.
+//
+// The library does not throw exceptions for anticipated failures (bad
+// assembly input, malformed profile files, lookup misses); fallible
+// operations return Status or Result<T> instead.
+
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dcpi {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kAlreadyExists,
+  kUnimplemented,
+};
+
+// Human-readable name for a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocated); carries a message only on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "error status requires a non-OK code");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+
+// A value-or-error. Use `ok()` / `status()` to test, `value()` to access.
+// Accessing value() on an error result is a programming bug (asserts).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(var_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate an error status out of the current function.
+#define DCPI_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::dcpi::Status status_ = (expr);         \
+    if (!status_.ok()) return status_;       \
+  } while (0)
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_STATUS_H_

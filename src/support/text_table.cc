@@ -1,0 +1,70 @@
+#include "src/support/text_table.h"
+
+#include <cstdio>
+
+namespace dcpi {
+
+void TextTable::SetHeader(std::vector<std::string> header, std::vector<Align> aligns) {
+  header_ = std::move(header);
+  aligns_ = std::move(aligns);
+  aligns_.resize(header_.size(), Align::kRight);
+  if (!header_.empty()) aligns_[0] = Align::kLeft;  // label column reads better left-aligned
+}
+
+void TextTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::Fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::Percent(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v);
+  return buf;
+}
+
+std::string TextTable::WithCi(double mean, double ci, int decimals) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", decimals, mean, decimals, ci);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      size_t pad = width[c] - cell.size();
+      Align align = c < aligns_.size() ? aligns_[c] : Align::kRight;
+      if (align == Align::kRight) out.append(pad, ' ');
+      out += cell;
+      if (align == Align::kLeft && c + 1 < cols) out.append(pad, ' ');
+      if (c + 1 < cols) out += "  ";
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c) total += width[c] + (c + 1 < cols ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace dcpi

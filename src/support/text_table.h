@@ -1,0 +1,38 @@
+// Column-aligned plain-text table printer. The benchmark harnesses use it to
+// print rows in the same shape as the paper's tables and tool listings.
+
+#ifndef SRC_SUPPORT_TEXT_TABLE_H_
+#define SRC_SUPPORT_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dcpi {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  // Adds the header row; alignment applies per column to all rows.
+  void SetHeader(std::vector<std::string> header, std::vector<Align> aligns = {});
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience cell formatters.
+  static std::string Fixed(double v, int decimals);
+  static std::string Percent(double v, int decimals);  // "12.3%"
+  static std::string WithCi(double mean, double ci, int decimals);  // "2.0 +/- 0.8"
+
+  // Renders with two-space column gaps and a dashed rule under the header.
+  std::string ToString() const;
+  void Print() const;  // to stdout
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_TEXT_TABLE_H_

@@ -1,0 +1,105 @@
+// dcpi_sim CLI: runs a named workload on the simulated machine with
+// continuous profiling, and writes the profile database plus serialized
+// images for the offline tools.
+//
+// Usage:
+//   dcpi_sim <workload> <output_dir> [mode=default] [scale=0.25] [cpus]
+//
+// Workloads: copy scale sum triad specfp specint gcc x11perf altavista dss
+//            parallel_specfp timesharing pointer_chase branch_heavy
+//            icache_stress imul_fdiv write_buffer
+// Modes: cycles default mux
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "src/isa/image_io.h"
+#include "src/tools/toolkit.h"
+#include "src/workloads/workloads.h"
+
+namespace dcpi {
+namespace {
+
+Workload MakeWorkload(WorkloadFactory& factory, const std::string& name) {
+  if (name == "copy") return factory.McCalpin(StreamKernel::kCopy);
+  if (name == "scale") return factory.McCalpin(StreamKernel::kScale);
+  if (name == "sum") return factory.McCalpin(StreamKernel::kSum);
+  if (name == "triad") return factory.McCalpin(StreamKernel::kTriad);
+  if (name == "specfp") return factory.SpecFpLike();
+  if (name == "specint") return factory.SpecIntLike();
+  if (name == "gcc") return factory.GccLike();
+  if (name == "x11perf") return factory.X11PerfLike();
+  if (name == "altavista") return factory.AltaVistaLike();
+  if (name == "dss") return factory.DssLike();
+  if (name == "parallel_specfp") return factory.ParallelSpecFp();
+  if (name == "timesharing") return factory.Timesharing();
+  if (name == "pointer_chase") return factory.PointerChase();
+  if (name == "branch_heavy") return factory.BranchHeavy();
+  if (name == "icache_stress") return factory.IcacheStress();
+  if (name == "imul_fdiv") return factory.ImulFdivStress();
+  if (name == "write_buffer") return factory.WriteBufferStress();
+  std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+}  // namespace dcpi
+
+int main(int argc, char** argv) {
+  using namespace dcpi;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dcpi_sim <workload> <output_dir> [mode] [scale] [cpus]\n");
+    return 2;
+  }
+  std::string workload_name = argv[1];
+  std::string out_dir = argv[2];
+  std::string mode_name = argc > 3 ? argv[3] : "default";
+  double scale = argc > 4 ? std::atof(argv[4]) : 0.25;
+  uint32_t cpus = argc > 5 ? static_cast<uint32_t>(std::atoi(argv[5])) : 0;
+
+  WorkloadFactory factory(scale);
+  Workload workload = MakeWorkload(factory, workload_name);
+  SystemConfig config;
+  config.kernel.num_cpus = cpus != 0 ? cpus : std::max(1u, workload.num_cpus);
+  config.mode = mode_name == "cycles" ? ProfilingMode::kCycles
+                : mode_name == "mux"  ? ProfilingMode::kMux
+                                      : ProfilingMode::kDefault;
+  config.period_scale = 1.0 / 16;  // dense sampling for offline analysis
+  config.db_root = out_dir + "/db";
+  System system(config);
+  Status status = workload.Instantiate(&system);
+  if (!status.ok()) {
+    std::fprintf(stderr, "instantiate failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  SystemResult result = system.Run();
+
+  // Save images for the offline tools.
+  std::filesystem::create_directories(out_dir + "/images");
+  int image_index = 0;
+  for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
+    std::string path = out_dir + "/images/image_" + std::to_string(image_index++) + ".img";
+    Status saved = SaveImage(*truth.image, path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot save image: %s\n", saved.ToString().c_str());
+    }
+  }
+
+  std::printf("workload:        %s (%s mode, %u cpu%s)\n", workload.name.c_str(),
+              ProfilingModeName(config.mode), config.kernel.num_cpus,
+              config.kernel.num_cpus == 1 ? "" : "s");
+  std::printf("elapsed cycles:  %llu\n",
+              static_cast<unsigned long long>(result.elapsed_cycles));
+  std::printf("instructions:    %llu\n",
+              static_cast<unsigned long long>(result.instructions));
+  std::printf("cycles samples:  %llu\n",
+              static_cast<unsigned long long>(
+                  result.samples[static_cast<int>(EventType::kCycles)]));
+  std::printf("profile db:      %s (epoch %u)\n", config.db_root.c_str(),
+              system.database()->current_epoch());
+  std::printf("images:          %s/images/\n", out_dir.c_str());
+  return result.had_error ? 1 : 0;
+}

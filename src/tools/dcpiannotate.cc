@@ -1,0 +1,46 @@
+#include "src/tools/dcpiannotate.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace dcpi {
+
+std::string FormatAnnotatedSource(const ExecutableImage& image,
+                                  const std::string& source,
+                                  const ImageProfile& cycles) {
+  // Sum samples per source line.
+  std::map<int, uint64_t> samples_by_line;
+  uint64_t total = 0;
+  for (size_t i = 0; i < image.num_instructions(); ++i) {
+    uint64_t count = cycles.SamplesAt(i * kInstrBytes);
+    int line = image.SourceLineOf(i);
+    if (line > 0) samples_by_line[line] += count;
+    total += count;
+  }
+
+  std::string out;
+  char buf[64];
+  std::istringstream in(source);
+  std::string text;
+  int line_no = 0;
+  while (std::getline(in, text)) {
+    ++line_no;
+    auto it = samples_by_line.find(line_no);
+    if (it != samples_by_line.end() && it->second > 0) {
+      double pct = total > 0 ? 100.0 * static_cast<double>(it->second) /
+                                   static_cast<double>(total)
+                             : 0.0;
+      std::snprintf(buf, sizeof(buf), "%8llu %6.2f%% | ",
+                    static_cast<unsigned long long>(it->second), pct);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%8s %7s | ", "", "");
+    }
+    out += buf;
+    out += text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,24 @@
+// dcpiannotate: annotates assembly source with per-line sample counts —
+// the paper's "annotate source and assembly code with samples" tool, using
+// the per-instruction line numbers the assembler records in the image.
+
+#ifndef SRC_TOOLS_DCPIANNOTATE_H_
+#define SRC_TOOLS_DCPIANNOTATE_H_
+
+#include <string>
+
+#include "src/isa/image.h"
+#include "src/profiledb/profile.h"
+
+namespace dcpi {
+
+// Renders `source` (the assembly text the image was built from) with two
+// leading columns per line: CYCLES samples and their percentage of the
+// image total. Lines that produced no instructions get blank columns.
+std::string FormatAnnotatedSource(const ExecutableImage& image,
+                                  const std::string& source,
+                                  const ImageProfile& cycles);
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_DCPIANNOTATE_H_

@@ -1,0 +1,142 @@
+#include "src/tools/dcpicalc.h"
+
+#include <cstdio>
+
+namespace dcpi {
+
+namespace {
+
+std::string StaticStallLetter(StaticStallKind kind) {
+  switch (kind) {
+    case StaticStallKind::kSlotting:
+      return "s (slotting hazard)";
+    case StaticStallKind::kRaDependency:
+      return "a (Ra dependency)";
+    case StaticStallKind::kRbDependency:
+      return "b (Rb dependency)";
+    case StaticStallKind::kRcDependency:
+      return "c (Rc dependency)";
+    case StaticStallKind::kFuDependency:
+      return "u (FU dependency)";
+    case StaticStallKind::kNone:
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string FormatCalcListing(const ExecutableImage& image,
+                              const ProcedureAnalysis& analysis) {
+  char buf[256];
+  std::string out;
+  double best = analysis.best_case_cpi;
+  double actual = analysis.actual_cpi;
+  std::snprintf(buf, sizeof(buf), "*** Best-case %.2fCPI\n*** Actual    %.2fCPI\n\n",
+                best, actual);
+  out += buf;
+  out += "Addr      Instruction                Samples    CPI     Culprit\n";
+
+  for (const InstructionAnalysis& ia : analysis.instructions) {
+    // Bubble lines for dynamic culprits.
+    if (ia.dynamic_stall >= 0.5) {
+      std::string letters;
+      for (int c = 0; c < kNumCulpritKinds; ++c) {
+        if (ia.culprits[c]) letters += CulpritKindLetter(static_cast<CulpritKind>(c));
+      }
+      if (ia.unexplained) letters = "?";
+      std::snprintf(buf, sizeof(buf), "   %-6s ... %.1fcy %s\n", letters.c_str(),
+                    ia.dynamic_stall,
+                    ia.unexplained ? "(unexplained)" : "(dynamic stall)");
+      out += buf;
+    }
+    // Bubble line for static stalls.
+    if (ia.static_stall != StaticStallKind::kNone) {
+      std::snprintf(buf, sizeof(buf), "   %s\n", StaticStallLetter(ia.static_stall).c_str());
+      out += buf;
+    }
+
+    std::string culprit;
+    if (ia.dcache_culprit_pc != 0) {
+      std::snprintf(buf, sizeof(buf), "%06llx",
+                    static_cast<unsigned long long>(ia.dcache_culprit_pc));
+      culprit = buf;
+    } else if (ia.static_culprit_pc != 0) {
+      std::snprintf(buf, sizeof(buf), "%06llx",
+                    static_cast<unsigned long long>(ia.static_culprit_pc));
+      culprit = buf;
+    }
+    std::string cpi_text;
+    if (ia.dual_issued && ia.samples == 0) {
+      cpi_text = "(dual issue)";
+    } else if (ia.frequency > 0) {
+      std::snprintf(buf, sizeof(buf), "%.1fcy", ia.cpi);
+      cpi_text = buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%06llx  %-28s %8llu  %-12s %s\n",
+                  static_cast<unsigned long long>(ia.pc),
+                  Disassemble(ia.inst, ia.pc).c_str(),
+                  static_cast<unsigned long long>(ia.samples), cpi_text.c_str(),
+                  culprit.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatStallSummary(const ProcedureAnalysis& analysis) {
+  const StallSummary& s = analysis.summary;
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "*** Best-case %.2fCPI, Actual %.2fCPI\n***\n",
+                analysis.best_case_cpi, analysis.actual_cpi);
+  out += buf;
+
+  auto range_row = [&](const char* name, double min_pct, double max_pct) {
+    std::snprintf(buf, sizeof(buf), "***   %-22s %5.1f%% to %5.1f%%\n", name, min_pct,
+                  max_pct);
+    out += buf;
+  };
+  static const CulpritKind kOrder[] = {
+      CulpritKind::kIcache,      CulpritKind::kItb,       CulpritKind::kDcache,
+      CulpritKind::kDtb,         CulpritKind::kWriteBuffer, CulpritKind::kSync,
+      CulpritKind::kBranchMispredict, CulpritKind::kImulBusy, CulpritKind::kFdivBusy,
+  };
+  for (CulpritKind kind : kOrder) {
+    int c = static_cast<int>(kind);
+    range_row(CulpritKindName(kind), s.dynamic_min_pct[c], s.dynamic_max_pct[c]);
+  }
+  std::snprintf(buf, sizeof(buf), "***   %-22s %5.1f%%\n", "Unexplained stall",
+                s.unexplained_stall_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "***   %-22s %5.1f%%\n", "Unexplained gain",
+                s.unexplained_gain_pct);
+  out += buf;
+  out += "*** " + std::string(40, '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "***   %-22s %5.1f%%\n", "Subtotal dynamic",
+                s.total_dynamic_pct);
+  out += buf;
+  out += "***\n";
+
+  auto static_row = [&](const char* name, double pct) {
+    std::snprintf(buf, sizeof(buf), "***   %-22s %5.1f%%\n", name, pct);
+    out += buf;
+  };
+  static_row("Slotting", s.static_pct_slotting);
+  static_row("Ra dependency", s.static_pct_ra);
+  static_row("Rb dependency", s.static_pct_rb);
+  static_row("Rc dependency", s.static_pct_rc);
+  static_row("FU dependency", s.static_pct_fu);
+  out += "*** " + std::string(40, '-') + "\n";
+  static_row("Subtotal static", s.subtotal_static());
+  out += "*** " + std::string(40, '-') + "\n";
+  static_row("Total stall", s.total_dynamic_pct + s.subtotal_static());
+  static_row("Execution", s.execution_pct);
+  static_row("Total tallied", s.total_dynamic_pct + s.subtotal_static() +
+                                  s.execution_pct + s.unexplained_gain_pct);
+  std::snprintf(buf, sizeof(buf), "***   (total cycles in procedure: %.0f)\n",
+                s.total_cycles);
+  out += buf;
+  return out;
+}
+
+}  // namespace dcpi

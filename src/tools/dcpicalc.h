@@ -1,0 +1,28 @@
+// dcpicalc: instruction-level listings with stall bubbles (Section 3.2) and
+// per-procedure stall summaries (Figure 4).
+
+#ifndef SRC_TOOLS_DCPICALC_H_
+#define SRC_TOOLS_DCPICALC_H_
+
+#include <string>
+
+#include "src/analysis/analyzer.h"
+
+namespace dcpi {
+
+// Figure 2 style annotated listing: best-case/actual CPI header, one line
+// per instruction (address, disassembly, samples, average CPI, culprit
+// addresses), with bubble lines naming possible causes before stalled
+// instructions. Letters: d=D-cache, w=write buffer, D=DTB, p=branch
+// mispredict, i=I-cache, t=ITB, m=IMUL busy, f=FDIV busy, y=sync,
+// s=slotting, a/b/c=Ra/Rb/Rc dependency, u=FU dependency.
+std::string FormatCalcListing(const ExecutableImage& image,
+                              const ProcedureAnalysis& analysis);
+
+// Figure 4 style summary: per-cause percentage ranges, static subtotals,
+// execution percentage, and the tally line.
+std::string FormatStallSummary(const ProcedureAnalysis& analysis);
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_DCPICALC_H_

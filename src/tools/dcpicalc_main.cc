@@ -1,0 +1,67 @@
+// dcpicalc CLI: instruction-level analysis of one procedure.
+//
+// Usage:
+//   dcpicalc [-s] <db_root> <epoch> <image_file> <procedure>
+//
+// Prints the Figure 2 style annotated listing; -s prints the Figure 4
+// style stall summary instead.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "src/isa/image_io.h"
+#include "src/profiledb/database.h"
+#include "src/tools/dcpicalc.h"
+
+int main(int argc, char** argv) {
+  using namespace dcpi;
+  bool summary = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "-s") == 0) {
+    summary = true;
+    ++arg;
+  }
+  if (argc - arg < 4) {
+    std::fprintf(stderr, "usage: dcpicalc [-s] <db_root> <epoch> <image_file> <procedure>\n");
+    return 2;
+  }
+  ProfileDatabase db(argv[arg]);
+  uint32_t epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
+  Result<std::shared_ptr<ExecutableImage>> image = LoadImage(argv[arg + 2]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "cannot load image: %s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  const ProcedureSymbol* proc = image.value()->FindProcedureByName(argv[arg + 3]);
+  if (proc == nullptr) {
+    std::fprintf(stderr, "no procedure %s in %s\n", argv[arg + 3],
+                 image.value()->name().c_str());
+    return 1;
+  }
+  Result<ImageProfile> cycles =
+      db.ReadProfile(epoch, image.value()->name(), EventType::kCycles);
+  if (!cycles.ok()) {
+    std::fprintf(stderr, "no cycles profile: %s\n", cycles.status().ToString().c_str());
+    return 1;
+  }
+  std::optional<ImageProfile> imiss;
+  Result<ImageProfile> imiss_result =
+      db.ReadProfile(epoch, image.value()->name(), EventType::kImiss);
+  if (imiss_result.ok()) imiss = std::move(imiss_result.value());
+
+  AnalysisConfig config;
+  Result<ProcedureAnalysis> analysis = AnalyzeProcedure(
+      *image.value(), *proc, cycles.value(), imiss.has_value() ? &*imiss : nullptr,
+      nullptr, nullptr, nullptr, config);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  if (summary) {
+    std::fputs(FormatStallSummary(analysis.value()).c_str(), stdout);
+  } else {
+    std::fputs(FormatCalcListing(*image.value(), analysis.value()).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "src/tools/dcpidiff.h"
+
+#include <algorithm>
+#include <tuple>
+#include <cmath>
+#include <map>
+
+#include "src/support/text_table.h"
+
+namespace dcpi {
+
+std::vector<DiffRow> DiffProcedures(const std::vector<ProcedureRow>& before,
+                                    const std::vector<ProcedureRow>& after) {
+  std::map<std::pair<std::string, std::string>, DiffRow> rows;
+  for (const ProcedureRow& row : before) {
+    DiffRow& d = rows[{row.procedure, row.image}];
+    d.procedure = row.procedure;
+    d.image = row.image;
+    d.before_samples = row.cycles_samples;
+    d.before_pct = row.cycles_pct;
+  }
+  for (const ProcedureRow& row : after) {
+    DiffRow& d = rows[{row.procedure, row.image}];
+    d.procedure = row.procedure;
+    d.image = row.image;
+    d.after_samples = row.cycles_samples;
+    d.after_pct = row.cycles_pct;
+  }
+  std::vector<DiffRow> sorted;
+  for (auto& [key, row] : rows) {
+    row.delta_pct = row.after_pct - row.before_pct;
+    sorted.push_back(row);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const DiffRow& a, const DiffRow& b) {
+    if (std::fabs(a.delta_pct) != std::fabs(b.delta_pct)) {
+      return std::fabs(a.delta_pct) > std::fabs(b.delta_pct);
+    }
+    return std::tie(a.procedure, a.image) < std::tie(b.procedure, b.image);
+  });
+  return sorted;
+}
+
+std::string FormatDiff(const std::vector<DiffRow>& rows, size_t max_rows) {
+  TextTable table;
+  table.SetHeader({"delta", "before%", "after%", "before", "after", "procedure",
+                   "image"});
+  size_t limit = max_rows == 0 ? rows.size() : std::min(max_rows, rows.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const DiffRow& row = rows[i];
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.2fpp", row.delta_pct);
+    table.AddRow({delta, TextTable::Percent(row.before_pct, 2),
+                  TextTable::Percent(row.after_pct, 2),
+                  std::to_string(row.before_samples), std::to_string(row.after_samples),
+                  row.procedure, row.image});
+  }
+  return table.ToString();
+}
+
+}  // namespace dcpi

@@ -1,0 +1,34 @@
+// dcpidiff: compares two profiles of the same program (Section 3 mentions
+// a tool that "highlights the differences in two separate profiles for the
+// same program"). Useful for before/after-optimization comparisons and for
+// spotting behaviour shifts between epochs.
+
+#ifndef SRC_TOOLS_DCPIDIFF_H_
+#define SRC_TOOLS_DCPIDIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tools/dcpiprof.h"
+
+namespace dcpi {
+
+struct DiffRow {
+  std::string procedure;
+  std::string image;
+  uint64_t before_samples = 0;
+  uint64_t after_samples = 0;
+  double before_pct = 0;  // share of its own profile
+  double after_pct = 0;
+  double delta_pct = 0;  // after_pct - before_pct (percentage points)
+};
+
+// Joins two per-procedure listings; rows sorted by |delta| descending.
+std::vector<DiffRow> DiffProcedures(const std::vector<ProcedureRow>& before,
+                                    const std::vector<ProcedureRow>& after);
+
+std::string FormatDiff(const std::vector<DiffRow>& rows, size_t max_rows = 0);
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_DCPIDIFF_H_

@@ -1,0 +1,52 @@
+// dcpidiff CLI: compares two epochs of a profile database for the same
+// images (before/after an optimization or a behaviour change).
+//
+// Usage:
+//   dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "src/isa/image_io.h"
+#include "src/profiledb/database.h"
+#include "src/tools/dcpidiff.h"
+
+int main(int argc, char** argv) {
+  using namespace dcpi;
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...\n");
+    return 2;
+  }
+  ProfileDatabase db(argv[1]);
+  uint32_t epoch_before = static_cast<uint32_t>(std::atoi(argv[2]));
+  uint32_t epoch_after = static_cast<uint32_t>(std::atoi(argv[3]));
+
+  std::deque<ImageProfile> storage;
+  std::vector<ProfInput> before_inputs, after_inputs;
+  for (int i = 4; i < argc; ++i) {
+    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(argv[i]);
+    if (!image.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[i],
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    Result<ImageProfile> before =
+        db.ReadProfile(epoch_before, image.value()->name(), EventType::kCycles);
+    if (before.ok()) {
+      storage.push_back(std::move(before.value()));
+      before_inputs.push_back({image.value(), &storage.back(), nullptr});
+    }
+    Result<ImageProfile> after =
+        db.ReadProfile(epoch_after, image.value()->name(), EventType::kCycles);
+    if (after.ok()) {
+      storage.push_back(std::move(after.value()));
+      after_inputs.push_back({image.value(), &storage.back(), nullptr});
+    }
+  }
+  std::vector<DiffRow> rows =
+      DiffProcedures(ListProcedures(before_inputs), ListProcedures(after_inputs));
+  std::fputs(FormatDiff(rows).c_str(), stdout);
+  return 0;
+}

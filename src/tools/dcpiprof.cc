@@ -1,0 +1,141 @@
+#include "src/tools/dcpiprof.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/text_table.h"
+
+namespace dcpi {
+
+namespace {
+
+struct ProcKey {
+  std::string procedure;
+  std::string image;
+  bool operator<(const ProcKey& other) const {
+    return std::tie(procedure, image) < std::tie(other.procedure, other.image);
+  }
+};
+
+}  // namespace
+
+std::vector<ProcedureRow> ListProcedures(const std::vector<ProfInput>& inputs) {
+  std::map<ProcKey, ProcedureRow> rows;
+  uint64_t total_cycles = 0;
+  uint64_t total_secondary = 0;
+  for (const ProfInput& input : inputs) {
+    if (input.cycles == nullptr || input.image == nullptr) continue;
+    for (const auto& [offset, count] : input.cycles->counts()) {
+      const ProcedureSymbol* proc = input.image->FindProcedure(input.image->OffsetToPc(offset));
+      ProcKey key{proc != nullptr ? proc->name : "<anonymous>", input.image->name()};
+      ProcedureRow& row = rows[key];
+      row.procedure = key.procedure;
+      row.image = key.image;
+      row.cycles_samples += count;
+      total_cycles += count;
+    }
+    if (input.secondary != nullptr) {
+      for (const auto& [offset, count] : input.secondary->counts()) {
+        const ProcedureSymbol* proc =
+            input.image->FindProcedure(input.image->OffsetToPc(offset));
+        ProcKey key{proc != nullptr ? proc->name : "<anonymous>", input.image->name()};
+        ProcedureRow& row = rows[key];
+        row.procedure = key.procedure;
+        row.image = key.image;
+        row.secondary_samples += count;
+        total_secondary += count;
+      }
+    }
+  }
+  std::vector<ProcedureRow> sorted;
+  for (auto& [key, row] : rows) sorted.push_back(row);
+  std::sort(sorted.begin(), sorted.end(), [](const ProcedureRow& a, const ProcedureRow& b) {
+    return a.cycles_samples > b.cycles_samples;
+  });
+  double cumulative = 0;
+  for (ProcedureRow& row : sorted) {
+    row.cycles_pct =
+        total_cycles == 0 ? 0 : 100.0 * static_cast<double>(row.cycles_samples) /
+                                    static_cast<double>(total_cycles);
+    cumulative += row.cycles_pct;
+    row.cumulative_pct = cumulative;
+    row.secondary_pct =
+        total_secondary == 0 ? 0 : 100.0 * static_cast<double>(row.secondary_samples) /
+                                       static_cast<double>(total_secondary);
+  }
+  return sorted;
+}
+
+std::vector<ImageRow> ListImages(const std::vector<ProfInput>& inputs) {
+  std::map<std::string, ImageRow> rows;
+  uint64_t total = 0;
+  for (const ProfInput& input : inputs) {
+    if (input.cycles == nullptr || input.image == nullptr) continue;
+    ImageRow& row = rows[input.image->name()];
+    row.image = input.image->name();
+    row.cycles_samples += input.cycles->total_samples();
+    total += input.cycles->total_samples();
+  }
+  std::vector<ImageRow> sorted;
+  for (auto& [name, row] : rows) sorted.push_back(row);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ImageRow& a, const ImageRow& b) { return a.cycles_samples > b.cycles_samples; });
+  double cumulative = 0;
+  for (ImageRow& row : sorted) {
+    row.cycles_pct = total == 0 ? 0 : 100.0 * static_cast<double>(row.cycles_samples) /
+                                          static_cast<double>(total);
+    cumulative += row.cycles_pct;
+    row.cumulative_pct = cumulative;
+  }
+  return sorted;
+}
+
+std::string FormatProcedureListing(const std::vector<ProcedureRow>& rows,
+                                   const std::string& secondary_name, size_t max_rows) {
+  uint64_t total_cycles = 0, total_secondary = 0;
+  for (const ProcedureRow& row : rows) {
+    total_cycles += row.cycles_samples;
+    total_secondary += row.secondary_samples;
+  }
+  std::string out = "Total samples for event type cycles = " + std::to_string(total_cycles);
+  if (total_secondary > 0) {
+    out += ", " + secondary_name + " = " + std::to_string(total_secondary);
+  }
+  out += "\n\n";
+
+  TextTable table;
+  if (total_secondary > 0) {
+    table.SetHeader({"cycles", "%", "cum%", secondary_name, "%", "procedure", "image"});
+  } else {
+    table.SetHeader({"cycles", "%", "cum%", "procedure", "image"});
+  }
+  size_t limit = max_rows == 0 ? rows.size() : std::min(max_rows, rows.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const ProcedureRow& row = rows[i];
+    std::vector<std::string> cells = {std::to_string(row.cycles_samples),
+                                      TextTable::Percent(row.cycles_pct, 2),
+                                      TextTable::Percent(row.cumulative_pct, 2)};
+    if (total_secondary > 0) {
+      cells.push_back(std::to_string(row.secondary_samples));
+      cells.push_back(TextTable::Percent(row.secondary_pct, 2));
+    }
+    cells.push_back(row.procedure);
+    cells.push_back(row.image);
+    table.AddRow(std::move(cells));
+  }
+  return out + table.ToString();
+}
+
+std::string FormatImageListing(const std::vector<ImageRow>& rows, size_t max_rows) {
+  TextTable table;
+  table.SetHeader({"cycles", "%", "cum%", "image"});
+  size_t limit = max_rows == 0 ? rows.size() : std::min(max_rows, rows.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const ImageRow& row = rows[i];
+    table.AddRow({std::to_string(row.cycles_samples), TextTable::Percent(row.cycles_pct, 2),
+                  TextTable::Percent(row.cumulative_pct, 2), row.image});
+  }
+  return table.ToString();
+}
+
+}  // namespace dcpi

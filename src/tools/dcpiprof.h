@@ -1,0 +1,58 @@
+// dcpiprof: procedure- and image-level sample listings (Section 3.1).
+//
+// Reads per-(image, event) profiles, aggregates samples over procedure
+// symbol ranges, and renders the Figure 1 style listing: samples, percent,
+// cumulative percent, a secondary event column, procedure, and image.
+
+#ifndef SRC_TOOLS_DCPIPROF_H_
+#define SRC_TOOLS_DCPIPROF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/profiledb/profile.h"
+
+namespace dcpi {
+
+struct ProfInput {
+  std::shared_ptr<const ExecutableImage> image;
+  const ImageProfile* cycles = nullptr;     // required
+  const ImageProfile* secondary = nullptr;  // e.g. IMISS; optional
+};
+
+struct ProcedureRow {
+  std::string procedure;
+  std::string image;
+  uint64_t cycles_samples = 0;
+  double cycles_pct = 0;
+  double cumulative_pct = 0;
+  uint64_t secondary_samples = 0;
+  double secondary_pct = 0;
+};
+
+struct ImageRow {
+  std::string image;
+  uint64_t cycles_samples = 0;
+  double cycles_pct = 0;
+  double cumulative_pct = 0;
+};
+
+// Aggregates samples per procedure, sorted by decreasing samples.
+// Samples falling outside any procedure symbol are aggregated under
+// "<anonymous>" per image.
+std::vector<ProcedureRow> ListProcedures(const std::vector<ProfInput>& inputs);
+
+std::vector<ImageRow> ListImages(const std::vector<ProfInput>& inputs);
+
+// Figure 1 style text rendering.
+std::string FormatProcedureListing(const std::vector<ProcedureRow>& rows,
+                                   const std::string& secondary_name,
+                                   size_t max_rows = 0);
+
+std::string FormatImageListing(const std::vector<ImageRow>& rows, size_t max_rows = 0);
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_DCPIPROF_H_

@@ -1,0 +1,65 @@
+// dcpiprof CLI: procedure/image listings from an on-disk profile database.
+//
+// Usage:
+//   dcpiprof [-i] <db_root> <epoch> <image_file>...
+//
+// Each image_file is a serialized ExecutableImage (see dcpi_sim, which
+// writes them next to the database). -i lists by image instead of by
+// procedure.
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/isa/image_io.h"
+#include "src/profiledb/database.h"
+#include "src/tools/dcpiprof.h"
+
+int main(int argc, char** argv) {
+  using namespace dcpi;
+  bool by_image = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "-i") == 0) {
+    by_image = true;
+    ++arg;
+  }
+  if (argc - arg < 3) {
+    std::fprintf(stderr, "usage: dcpiprof [-i] <db_root> <epoch> <image_file>...\n");
+    return 2;
+  }
+  ProfileDatabase db(argv[arg]);
+  uint32_t epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
+
+  std::vector<ProfInput> inputs;
+  std::deque<ImageProfile> profiles;  // stable storage for ProfInput pointers
+  for (int i = arg + 2; i < argc; ++i) {
+    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(argv[i]);
+    if (!image.ok()) {
+      std::fprintf(stderr, "cannot load image %s: %s\n", argv[i],
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    ProfInput input;
+    input.image = image.value();
+    Result<ImageProfile> cycles =
+        db.ReadProfile(epoch, image.value()->name(), EventType::kCycles);
+    if (!cycles.ok()) continue;  // image not profiled in this epoch
+    profiles.push_back(std::move(cycles.value()));
+    input.cycles = &profiles.back();
+    Result<ImageProfile> imiss =
+        db.ReadProfile(epoch, image.value()->name(), EventType::kImiss);
+    if (imiss.ok()) {
+      profiles.push_back(std::move(imiss.value()));
+      input.secondary = &profiles.back();
+    }
+    inputs.push_back(input);
+  }
+  if (by_image) {
+    std::fputs(FormatImageListing(ListImages(inputs)).c_str(), stdout);
+  } else {
+    std::fputs(FormatProcedureListing(ListProcedures(inputs), "imiss").c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "src/tools/dcpistats.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/text_table.h"
+
+namespace dcpi {
+
+std::vector<StatsRow> ComputeStats(const std::vector<ProcedureSamples>& runs) {
+  std::set<std::string> procedures;
+  for (const ProcedureSamples& run : runs) {
+    for (const auto& [proc, count] : run) procedures.insert(proc);
+  }
+  double grand_total = 0;
+  for (const ProcedureSamples& run : runs) {
+    for (const auto& [proc, count] : run) grand_total += static_cast<double>(count);
+  }
+
+  std::vector<StatsRow> rows;
+  for (const std::string& proc : procedures) {
+    RunningStat stat;
+    for (const ProcedureSamples& run : runs) {
+      auto it = run.find(proc);
+      stat.Add(it == run.end() ? 0.0 : static_cast<double>(it->second));
+    }
+    StatsRow row;
+    row.procedure = proc;
+    row.sum = stat.sum();
+    row.sum_pct = grand_total > 0 ? 100.0 * stat.sum() / grand_total : 0;
+    row.runs = stat.count();
+    row.mean = stat.mean();
+    row.stddev = stat.stddev();
+    row.min = stat.min();
+    row.max = stat.max();
+    row.range_pct = stat.sum() > 0 ? 100.0 * (stat.max() - stat.min()) / stat.sum() : 0;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const StatsRow& a, const StatsRow& b) { return a.range_pct > b.range_pct; });
+  return rows;
+}
+
+std::string FormatStats(const std::vector<ProcedureSamples>& runs,
+                        const std::vector<StatsRow>& rows, size_t max_rows) {
+  std::string out = "Number of samples of type cycles\n";
+  uint64_t total = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    uint64_t set_total = 0;
+    for (const auto& [proc, count] : runs[i]) set_total += count;
+    out += "set " + std::to_string(i + 1) + " = " + std::to_string(set_total) + "  ";
+    if ((i + 1) % 4 == 0) out += "\n";
+    total += set_total;
+  }
+  out += "\nTOTAL " + std::to_string(total) + "\n\n";
+  out += "Statistics calculated using the sample counts for each procedure from " +
+         std::to_string(runs.size()) + " different sample set(s)\n\n";
+
+  TextTable table;
+  table.SetHeader({"range%", "sum", "sum%", "N", "mean", "std-dev", "min", "max",
+                   "procedure"});
+  size_t limit = max_rows == 0 ? rows.size() : std::min(max_rows, rows.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const StatsRow& row = rows[i];
+    table.AddRow({TextTable::Percent(row.range_pct, 2), TextTable::Fixed(row.sum, 2),
+                  TextTable::Percent(row.sum_pct, 2), std::to_string(row.runs),
+                  TextTable::Fixed(row.mean, 2), TextTable::Fixed(row.stddev, 2),
+                  TextTable::Fixed(row.min, 2), TextTable::Fixed(row.max, 2),
+                  row.procedure});
+  }
+  return out + table.ToString();
+}
+
+}  // namespace dcpi

@@ -1,0 +1,43 @@
+// dcpistats: cross-run profile variation analysis (Section 3.3).
+//
+// Takes several sample sets (one per run), aggregates samples per
+// procedure, and reports per-procedure statistics sorted by normalized
+// range — the Figure 3 view that exposed wave5's smooth_ as the source of
+// run-to-run variance.
+
+#ifndef SRC_TOOLS_DCPISTATS_H_
+#define SRC_TOOLS_DCPISTATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/stats.h"
+
+namespace dcpi {
+
+// One run's per-procedure sample counts.
+using ProcedureSamples = std::map<std::string, uint64_t>;
+
+struct StatsRow {
+  std::string procedure;
+  double range_pct = 0;  // (max - min) / sum of all samples in the row
+  double sum = 0;
+  double sum_pct = 0;  // share of all samples across all procedures
+  size_t runs = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+// Computes rows sorted by decreasing range%.
+std::vector<StatsRow> ComputeStats(const std::vector<ProcedureSamples>& runs);
+
+// Figure 3 style rendering (per-set totals line + the statistics table).
+std::string FormatStats(const std::vector<ProcedureSamples>& runs,
+                        const std::vector<StatsRow>& rows, size_t max_rows = 0);
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_DCPISTATS_H_

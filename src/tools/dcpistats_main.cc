@@ -1,0 +1,73 @@
+// dcpistats CLI: cross-run variance statistics. Each epoch of the profile
+// database is one sample set (one run).
+//
+// Usage:
+//   dcpistats <db_root> <epoch>... -- <image_file>...
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/isa/image_io.h"
+#include "src/profiledb/database.h"
+#include "src/tools/dcpiprof.h"
+#include "src/tools/dcpistats.h"
+
+int main(int argc, char** argv) {
+  using namespace dcpi;
+  std::vector<uint32_t> epochs;
+  std::vector<std::string> image_paths;
+  bool after_separator = false;
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: dcpistats <db_root> <epoch>... -- <image_file>...\n");
+    return 2;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      after_separator = true;
+      continue;
+    }
+    if (after_separator) {
+      image_paths.push_back(argv[i]);
+    } else {
+      epochs.push_back(static_cast<uint32_t>(std::atoi(argv[i])));
+    }
+  }
+  if (epochs.size() < 2 || image_paths.empty()) {
+    std::fprintf(stderr, "need at least two epochs and one image\n");
+    return 2;
+  }
+
+  ProfileDatabase db(argv[1]);
+  std::vector<std::shared_ptr<ExecutableImage>> images;
+  for (const std::string& path : image_paths) {
+    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(path);
+    if (!image.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    images.push_back(image.value());
+  }
+
+  std::vector<ProcedureSamples> sets;
+  for (uint32_t epoch : epochs) {
+    std::deque<ImageProfile> storage;
+    std::vector<ProfInput> inputs;
+    for (const auto& image : images) {
+      Result<ImageProfile> cycles = db.ReadProfile(epoch, image->name(), EventType::kCycles);
+      if (!cycles.ok()) continue;
+      storage.push_back(std::move(cycles.value()));
+      inputs.push_back({image, &storage.back(), nullptr});
+    }
+    ProcedureSamples samples;
+    for (const ProcedureRow& row : ListProcedures(inputs)) {
+      samples[row.procedure] += row.cycles_samples;
+    }
+    sets.push_back(std::move(samples));
+  }
+  std::fputs(FormatStats(sets, ComputeStats(sets)).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "src/tools/toolkit.h"
+
+namespace dcpi {
+
+std::vector<ProfInput> GatherProfInputs(System& system, EventType secondary) {
+  std::vector<ProfInput> inputs;
+  if (system.daemon() == nullptr) return inputs;
+  for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
+    ProfInput input;
+    input.image = truth.image;
+    input.cycles = system.daemon()->FindProfile(truth.image->name(), EventType::kCycles);
+    input.secondary = system.daemon()->FindProfile(truth.image->name(), secondary);
+    if (input.cycles != nullptr) inputs.push_back(input);
+  }
+  return inputs;
+}
+
+ProcedureSamples SamplesByProcedure(System& system) {
+  ProcedureSamples samples;
+  for (const ProcedureRow& row : ListProcedures(GatherProfInputs(system))) {
+    samples[row.procedure] += row.cycles_samples;
+  }
+  return samples;
+}
+
+Result<ProcedureAnalysis> AnalyzeFromSystem(System& system, const ExecutableImage& image,
+                                            const std::string& proc_name,
+                                            const AnalysisConfig& config) {
+  if (system.daemon() == nullptr) {
+    return FailedPrecondition("system has no profiling daemon (base mode?)");
+  }
+  const ProcedureSymbol* proc = image.FindProcedureByName(proc_name);
+  if (proc == nullptr) {
+    return NotFound("procedure " + proc_name + " in " + image.name());
+  }
+  const ImageProfile* cycles =
+      system.daemon()->FindProfile(image.name(), EventType::kCycles);
+  if (cycles == nullptr) {
+    return NotFound("no CYCLES profile for " + image.name());
+  }
+  return AnalyzeProcedure(
+      image, *proc, *cycles,
+      system.daemon()->FindProfile(image.name(), EventType::kImiss),
+      system.daemon()->FindProfile(image.name(), EventType::kDmiss),
+      system.daemon()->FindProfile(image.name(), EventType::kBranchMp),
+      system.daemon()->FindProfile(image.name(), EventType::kDtbMiss), config);
+}
+
+}  // namespace dcpi

@@ -1,0 +1,35 @@
+// Convenience glue used by the CLI tools, examples, and benchmarks:
+// gathering profile inputs from a live System, and running the full
+// analyzer on a procedure with whatever event profiles are available.
+
+#ifndef SRC_TOOLS_TOOLKIT_H_
+#define SRC_TOOLS_TOOLKIT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/sim/system.h"
+#include "src/tools/dcpiprof.h"
+#include "src/tools/dcpistats.h"
+
+namespace dcpi {
+
+// Builds dcpiprof inputs for every image known to the kernel (including
+// /vmunix) that has a CYCLES profile in the daemon.
+std::vector<ProfInput> GatherProfInputs(System& system,
+                                        EventType secondary = EventType::kImiss);
+
+// Per-procedure CYCLES sample map (dcpistats input) for one run.
+ProcedureSamples SamplesByProcedure(System& system);
+
+// Runs the analyzer on `proc_name` in `image`, pulling the CYCLES profile
+// and any monitored event profiles from the system's daemon.
+Result<ProcedureAnalysis> AnalyzeFromSystem(System& system, const ExecutableImage& image,
+                                            const std::string& proc_name,
+                                            const AnalysisConfig& config = AnalysisConfig());
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_TOOLKIT_H_

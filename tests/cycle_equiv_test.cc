@@ -1,0 +1,162 @@
+// Cycle-equivalence tests: hand-built graphs with known classes plus a
+// property test comparing the bracket-list algorithm against a brute-force
+// cut-pair oracle on random connected multigraphs.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/analysis/cycle_equiv.h"
+#include "src/support/rng.h"
+
+namespace dcpi {
+namespace {
+
+using Edges = std::vector<std::pair<int, int>>;
+
+// Union-find for the brute-force oracle.
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(int n) : parent(n) { std::iota(parent.begin(), parent.end(), 0); }
+  int Find(int x) { return parent[x] == x ? x : parent[x] = Find(parent[x]); }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+int NumComponents(int n, const Edges& edges, int skip1, int skip2) {
+  Dsu dsu(n);
+  for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+    if (e == skip1 || e == skip2) continue;
+    dsu.Union(edges[e].first, edges[e].second);
+  }
+  std::set<int> roots;
+  for (int v = 0; v < n; ++v) roots.insert(dsu.Find(v));
+  return static_cast<int>(roots.size());
+}
+
+// Brute-force cycle equivalence for a connected graph:
+//  - a bridge (or self-loop) is in a singleton class;
+//  - two non-bridge edges are equivalent iff removing both disconnects.
+std::vector<std::vector<bool>> BruteForceEquivalent(int n, const Edges& edges) {
+  int m = static_cast<int>(edges.size());
+  std::vector<bool> bridge(m);
+  for (int e = 0; e < m; ++e) {
+    bridge[e] = edges[e].first != edges[e].second && NumComponents(n, edges, e, -1) > 1;
+  }
+  std::vector<std::vector<bool>> eq(m, std::vector<bool>(m, false));
+  for (int a = 0; a < m; ++a) {
+    eq[a][a] = true;
+    for (int b = a + 1; b < m; ++b) {
+      if (bridge[a] || bridge[b]) continue;
+      if (edges[a].first == edges[a].second || edges[b].first == edges[b].second) continue;
+      if (NumComponents(n, edges, a, b) > 1) eq[a][b] = eq[b][a] = true;
+    }
+  }
+  return eq;
+}
+
+void ExpectMatchesBruteForce(int n, const Edges& edges, const std::string& label) {
+  std::vector<int> classes = CycleEquivalence(n, edges);
+  auto oracle = BruteForceEquivalent(n, edges);
+  for (size_t a = 0; a < edges.size(); ++a) {
+    for (size_t b = 0; b < edges.size(); ++b) {
+      EXPECT_EQ(classes[a] == classes[b], oracle[a][b])
+          << label << ": edges " << a << " (" << edges[a].first << "," << edges[a].second
+          << ") and " << b << " (" << edges[b].first << "," << edges[b].second << ")";
+    }
+  }
+}
+
+TEST(CycleEquivalence, SimpleCycleAllEquivalent) {
+  // Triangle: every edge on the single cycle.
+  Edges edges = {{0, 1}, {1, 2}, {2, 0}};
+  std::vector<int> classes = CycleEquivalence(3, edges);
+  EXPECT_EQ(classes[0], classes[1]);
+  EXPECT_EQ(classes[1], classes[2]);
+}
+
+TEST(CycleEquivalence, DiamondArmsNotEquivalentButStemIs) {
+  // 0 -> {1,2} -> 3, plus closing edge 3-0 (the CFG's exit->entry edge).
+  // The two arms (0-1, 1-3) form one class; (0-2, 2-3) another; 3-0 its own.
+  Edges edges = {{0, 1}, {1, 3}, {0, 2}, {2, 3}, {3, 0}};
+  std::vector<int> classes = CycleEquivalence(4, edges);
+  EXPECT_EQ(classes[0], classes[1]);
+  EXPECT_EQ(classes[2], classes[3]);
+  EXPECT_NE(classes[0], classes[2]);
+  EXPECT_NE(classes[0], classes[4]);
+  EXPECT_NE(classes[2], classes[4]);
+  ExpectMatchesBruteForce(4, edges, "diamond");
+}
+
+TEST(CycleEquivalence, SequenceOfBlocksAllEquivalent) {
+  // A straight-line chain closed into a ring: everything executes together.
+  Edges edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  std::vector<int> classes = CycleEquivalence(4, edges);
+  EXPECT_EQ(classes[0], classes[1]);
+  EXPECT_EQ(classes[1], classes[2]);
+  EXPECT_EQ(classes[2], classes[3]);
+}
+
+TEST(CycleEquivalence, LoopBodySeparatesFromPreheader) {
+  // 0 -> 1, 1 -> 1 (self loop models a back edge after node splitting is
+  // omitted), 1 -> 2, 2 -> 0. The self loop is a singleton class.
+  Edges edges = {{0, 1}, {1, 1}, {1, 2}, {2, 0}};
+  std::vector<int> classes = CycleEquivalence(3, edges);
+  EXPECT_EQ(classes[0], classes[2]);
+  EXPECT_EQ(classes[2], classes[3]);
+  EXPECT_NE(classes[1], classes[0]);
+  ExpectMatchesBruteForce(3, edges, "self-loop");
+}
+
+TEST(CycleEquivalence, ParallelEdgesWithBypass) {
+  Edges edges = {{0, 1}, {0, 1}, {1, 2}, {2, 0}};
+  // The two parallel edges are not equivalent (the path through 2 bypasses
+  // either), but 1-2 and 2-0 are equivalent.
+  std::vector<int> classes = CycleEquivalence(3, edges);
+  EXPECT_NE(classes[0], classes[1]);
+  EXPECT_EQ(classes[2], classes[3]);
+  ExpectMatchesBruteForce(3, edges, "parallel");
+}
+
+TEST(CycleEquivalence, BridgeIsSingleton) {
+  // Two triangles joined by a bridge.
+  Edges edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}};
+  std::vector<int> classes = CycleEquivalence(6, edges);
+  // Bridge 2-3 shares a class with nothing.
+  for (int e = 0; e < 7; ++e) {
+    if (e == 3) continue;
+    EXPECT_NE(classes[3], classes[e]) << "edge " << e;
+  }
+  ExpectMatchesBruteForce(6, edges, "bridge");
+}
+
+TEST(CycleEquivalence, NestedLoopsMatchOracle) {
+  // Entry 0; outer loop 1..4 with back edge 4-1; inner loop 2..3 with back
+  // edge 3-2; exit 5; closing edge 5-0.
+  Edges edges = {{0, 1}, {1, 2}, {2, 3}, {3, 2}, {3, 4}, {4, 1}, {4, 5}, {5, 0}};
+  ExpectMatchesBruteForce(6, edges, "nested-loops");
+}
+
+// Property test: random connected multigraphs vs the oracle.
+TEST(CycleEquivalenceProperty, RandomGraphsMatchBruteForce) {
+  SplitMix64 rng(0xc0ffee);
+  for (int trial = 0; trial < 300; ++trial) {
+    int n = 2 + static_cast<int>(rng.NextBelow(7));
+    Edges edges;
+    // Random spanning tree first (guarantees connectivity).
+    for (int v = 1; v < n; ++v) {
+      edges.push_back({static_cast<int>(rng.NextBelow(v)), v});
+    }
+    int extra = static_cast<int>(rng.NextBelow(6));
+    for (int e = 0; e < extra; ++e) {
+      int u = static_cast<int>(rng.NextBelow(n));
+      int v = static_cast<int>(rng.NextBelow(n));
+      edges.push_back({u, v});
+    }
+    ExpectMatchesBruteForce(n, edges, "random trial " + std::to_string(trial));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace dcpi

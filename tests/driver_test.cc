@@ -1,0 +1,150 @@
+// Driver tests: the sample hash table (aggregation, eviction policies,
+// count saturation), overflow buffering, cost accounting, and flushes.
+
+#include <gtest/gtest.h>
+
+#include "src/driver/driver.h"
+#include "src/support/rng.h"
+
+namespace dcpi {
+namespace {
+
+SampleKey Key(uint32_t pid, uint64_t pc) { return {pid, pc, EventType::kCycles}; }
+
+TEST(SampleHashTable, AggregatesRepeatedSamples) {
+  SampleHashTable table(HashTableConfig{});
+  for (int i = 0; i < 100; ++i) {
+    auto result = table.Record(Key(1, 0x1000));
+    EXPECT_EQ(result.hit, i > 0);
+    EXPECT_FALSE(result.evicted);
+  }
+  uint64_t count = 0;
+  table.Flush([&](const SampleRecord& r) { count = r.count; });
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(table.live_entries(), 0u);  // flush cleared it
+}
+
+TEST(SampleHashTable, DistinctPidsAreDistinctKeys) {
+  // The gcc effect: same PC under different PIDs occupies separate entries.
+  SampleHashTable table(HashTableConfig{});
+  table.Record(Key(1, 0x1000));
+  table.Record(Key(2, 0x1000));
+  table.Record(Key(3, 0x1000));
+  EXPECT_EQ(table.live_entries(), 3u);
+}
+
+TEST(SampleHashTable, EvictsWhenBucketFull) {
+  HashTableConfig config;
+  config.buckets = 1;  // force every key into one bucket
+  config.associativity = 4;
+  SampleHashTable table(config);
+  for (uint64_t k = 0; k < 4; ++k) table.Record(Key(1, 0x1000 + k * 4));
+  EXPECT_EQ(table.stats().evictions, 0u);
+  auto result = table.Record(Key(1, 0x2000));
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.victim.count, 1u);
+  EXPECT_EQ(table.stats().evictions, 1u);
+}
+
+TEST(SampleHashTable, ModCounterRotatesVictims) {
+  HashTableConfig config;
+  config.buckets = 1;
+  config.associativity = 2;
+  config.replacement = Replacement::kModCounter;
+  SampleHashTable table(config);
+  table.Record(Key(1, 0x10));
+  table.Record(Key(1, 0x20));
+  auto e1 = table.Record(Key(1, 0x30));  // evicts slot 0
+  auto e2 = table.Record(Key(1, 0x40));  // evicts slot 1
+  EXPECT_TRUE(e1.evicted);
+  EXPECT_TRUE(e2.evicted);
+  EXPECT_NE(e1.victim.key.pc, e2.victim.key.pc);
+}
+
+TEST(SampleHashTable, SwapToFrontProtectsHotEntries) {
+  HashTableConfig config;
+  config.buckets = 1;
+  config.associativity = 2;
+  config.replacement = Replacement::kSwapToFront;
+  SampleHashTable table(config);
+  table.Record(Key(1, 0x10));
+  for (int i = 0; i < 10; ++i) table.Record(Key(1, 0x10));  // hot, at front
+  table.Record(Key(1, 0x20));
+  auto evict = table.Record(Key(1, 0x30));  // LRU victim = back of line
+  ASSERT_TRUE(evict.evicted);
+  EXPECT_EQ(evict.victim.key.pc, 0x10u);  // hmm: 0x20 swapped to front, 0x10 at back
+}
+
+TEST(SampleHashTable, CountSaturationSpillsToOverflow) {
+  HashTableConfig config;
+  config.max_count = 4;
+  SampleHashTable table(config);
+  SampleHashTable::RecordResult last;
+  for (int i = 0; i < 5; ++i) last = table.Record(Key(1, 0x10));
+  EXPECT_TRUE(last.evicted);  // saturated aggregate pushed out
+  EXPECT_EQ(last.victim.count, 4u);
+}
+
+TEST(DcpiDriver, CostModelDistinguishesHitAndMiss) {
+  DriverConfig config;
+  DcpiDriver driver(1, config);
+  uint64_t miss_cost = driver.DeliverSample(0, 1, 0x1000, EventType::kCycles);
+  uint64_t hit_cost = driver.DeliverSample(0, 1, 0x1000, EventType::kCycles);
+  EXPECT_EQ(miss_cost, config.intr_setup_cycles + config.miss_body_cycles);
+  EXPECT_EQ(hit_cost, config.intr_setup_cycles + config.hit_body_cycles);
+  EXPECT_GT(miss_cost, hit_cost);
+  EXPECT_EQ(driver.cpu_stats(0).interrupts, 2u);
+  EXPECT_EQ(driver.cpu_stats(0).hash_hits, 1u);
+}
+
+TEST(DcpiDriver, OverflowBufferHandedToDaemonWhenFull) {
+  DriverConfig config;
+  config.hash.buckets = 1;
+  config.hash.associativity = 2;
+  config.overflow_entries = 4;
+  DcpiDriver driver(1, config);
+  std::vector<size_t> delivered_sizes;
+  driver.set_overflow_handler(
+      [&](uint32_t cpu, const std::vector<SampleRecord>& records) {
+        EXPECT_EQ(cpu, 0u);
+        delivered_sizes.push_back(records.size());
+      });
+  // Stream distinct keys: every record after the first two evicts.
+  for (uint64_t k = 0; k < 20; ++k) {
+    driver.DeliverSample(0, 1, 0x1000 + k * 8, EventType::kCycles);
+  }
+  ASSERT_FALSE(delivered_sizes.empty());
+  for (size_t size : delivered_sizes) EXPECT_EQ(size, 4u);
+}
+
+TEST(DcpiDriver, FlushAllDrainsEverything) {
+  DcpiDriver driver(2, DriverConfig{});
+  driver.DeliverSample(0, 1, 0x1000, EventType::kCycles);
+  driver.DeliverSample(1, 2, 0x2000, EventType::kImiss);
+  uint64_t total = 0;
+  driver.set_overflow_handler(
+      [&](uint32_t cpu, const std::vector<SampleRecord>& records) {
+        (void)cpu;
+        for (const auto& r : records) total += r.count;
+      });
+  driver.FlushAll();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(DcpiDriver, PerCpuStateIsIndependent) {
+  DcpiDriver driver(2, DriverConfig{});
+  driver.DeliverSample(0, 1, 0x1000, EventType::kCycles);
+  driver.DeliverSample(1, 1, 0x1000, EventType::kCycles);
+  // Both CPUs saw a miss (separate tables), not one miss + one hit.
+  EXPECT_EQ(driver.cpu_stats(0).hash_misses, 1u);
+  EXPECT_EQ(driver.cpu_stats(1).hash_misses, 1u);
+}
+
+TEST(DcpiDriver, KernelMemoryMatchesPaper) {
+  // 4096 buckets x 4 entries x 16 B + 2 x 8192 x 16 B = 512 KB per CPU.
+  DcpiDriver driver(1, DriverConfig{});
+  EXPECT_EQ(driver.KernelMemoryBytesPerCpu(), 512u * 1024);
+}
+
+}  // namespace
+}  // namespace dcpi

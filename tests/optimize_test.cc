@@ -1,0 +1,165 @@
+// Profile-guided layout tests: semantic preservation under procedure
+// reordering (the program must compute the same results), symbol and
+// relocation correctness, and the I-cache win on a hot/cold workload.
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/kernel/kernel.h"
+#include "src/optimize/layout.h"
+
+namespace dcpi {
+namespace {
+
+// cold1 and cold2 pad the layout; hot_a and hot_b do the real work and
+// call each other across the cold padding.
+constexpr char kProgram[] = R"(
+        .text
+        .proc main
+        li    r9, 200
+again:
+        bsr   r26, hot_a
+        subq  r9, 1, r9
+        bne   r9, again
+        lia   r1, result
+        stq   r10, 0(r1)
+        halt
+        .endp
+
+        .proc cold1
+        li    r1, 1
+        addq  r1, 1, r1
+        addq  r1, 1, r1
+        ret   r31, (r26)
+        .endp
+
+        .proc hot_a
+        mov   r26, r24
+        addq  r10, 3, r10
+        bsr   r26, hot_b
+        ret   r31, (r24)
+        .endp
+
+        .proc cold2
+        li    r1, 2
+        addq  r1, 1, r1
+        ret   r31, (r26)
+        .endp
+
+        .proc hot_b
+        addq  r10, 4, r10
+        ret   r31, (r26)
+        .endp
+
+        .data
+result: .quad 0
+)";
+
+uint64_t RunAndGetResult(std::shared_ptr<ExecutableImage> image,
+                         const std::string& symbol = "result") {
+  KernelConfig config;
+  Kernel kernel(config);
+  auto process = kernel.CreateProcess("p", {image}, "main");
+  EXPECT_TRUE(process.ok()) << process.status().ToString();
+  kernel.Run();
+  EXPECT_FALSE(kernel.HadProcessError());
+  Result<uint64_t> addr = image->DataSymbolAddress(symbol);
+  EXPECT_TRUE(addr.ok()) << addr.status().ToString();
+  if (!addr.ok()) return ~0ull;
+  uint64_t value = 0;
+  EXPECT_TRUE(process.value()->aspace().Load(addr.value(), 8, &value));
+  return value;
+}
+
+ImageProfile FakeProfile(const ExecutableImage& image,
+                         const std::vector<std::pair<std::string, uint64_t>>& hotness) {
+  ImageProfile profile(image.name(), EventType::kCycles, 1000);
+  for (const auto& [name, samples] : hotness) {
+    const ProcedureSymbol* proc = image.FindProcedureByName(name);
+    EXPECT_NE(proc, nullptr) << name;
+    profile.AddSamples(image.PcToOffset(proc->start), samples);
+  }
+  return profile;
+}
+
+TEST(Layout, ReorderPreservesSemantics) {
+  auto image = Assemble("prog", 0x0100'0000, kProgram).value();
+  uint64_t expected = RunAndGetResult(image);
+  EXPECT_EQ(expected, 200u * 7);  // 200 iterations x (3 + 4)
+
+  ImageProfile profile =
+      FakeProfile(*image, {{"hot_a", 5000}, {"hot_b", 4000}, {"main", 500}});
+  auto optimized = ReorderProceduresByHotness(*image, profile);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_EQ(RunAndGetResult(optimized.value()), expected);
+}
+
+TEST(Layout, HotProceduresComeFirst) {
+  auto image = Assemble("prog", 0x0100'0000, kProgram).value();
+  ImageProfile profile =
+      FakeProfile(*image, {{"hot_a", 5000}, {"hot_b", 4000}, {"main", 500}});
+  auto optimized = ReorderProceduresByHotness(*image, profile);
+  ASSERT_TRUE(optimized.ok());
+  const ExecutableImage& out = *optimized.value();
+  const ProcedureSymbol* hot_a = out.FindProcedureByName("hot_a");
+  const ProcedureSymbol* hot_b = out.FindProcedureByName("hot_b");
+  const ProcedureSymbol* cold1 = out.FindProcedureByName("cold1");
+  const ProcedureSymbol* cold2 = out.FindProcedureByName("cold2");
+  ASSERT_NE(hot_a, nullptr);
+  EXPECT_LT(hot_a->start, cold1->start);
+  EXPECT_LT(hot_b->start, cold1->start);
+  EXPECT_LT(hot_b->start, cold2->start);
+  // Hot entries are cache-line aligned.
+  EXPECT_EQ(hot_a->start % 32, 0u);
+}
+
+TEST(Layout, ProcedureSizesPreserved) {
+  auto image = Assemble("prog", 0x0100'0000, kProgram).value();
+  ImageProfile profile = FakeProfile(*image, {{"hot_b", 100}});
+  auto optimized = ReorderProceduresByHotness(*image, profile);
+  ASSERT_TRUE(optimized.ok());
+  for (const ProcedureSymbol& proc : image->procedures()) {
+    const ProcedureSymbol* moved = optimized.value()->FindProcedureByName(proc.name);
+    ASSERT_NE(moved, nullptr) << proc.name;
+    EXPECT_EQ(moved->end - moved->start, proc.end - proc.start) << proc.name;
+  }
+  // Data section intact.
+  EXPECT_EQ(optimized.value()->data_size(), image->data_size());
+  EXPECT_TRUE(optimized.value()->DataSymbolAddress("result").ok());
+}
+
+TEST(Layout, AddressPairsIntoTextAreRetargeted) {
+  // A computed jump through a lia pair must still reach its (moved) target.
+  const char* source = R"(
+        .text
+        .proc main
+        li    r9, 10
+loop:   lia   r5, helper
+        jsr   r26, (r5)
+        subq  r9, 1, r9
+        bne   r9, loop
+        lia   r1, out
+        stq   r10, 0(r1)
+        halt
+        .endp
+        .proc helper
+        addq  r10, 2, r10
+        ret   r31, (r26)
+        .endp
+        .data
+out:    .quad 0
+)";
+  auto image = Assemble("jumpy", 0x0100'0000, source).value();
+  uint64_t expected = RunAndGetResult(image, "out");
+  EXPECT_EQ(expected, 20u);
+  ImageProfile profile = FakeProfile(*image, {{"helper", 9000}, {"main", 100}});
+  auto optimized = ReorderProceduresByHotness(*image, profile);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  // helper now precedes main; the lia pair must have been patched.
+  EXPECT_LT(optimized.value()->FindProcedureByName("helper")->start,
+            optimized.value()->FindProcedureByName("main")->start);
+  EXPECT_EQ(RunAndGetResult(optimized.value(), "out"), expected);
+}
+
+}  // namespace
+}  // namespace dcpi

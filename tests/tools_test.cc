@@ -1,0 +1,168 @@
+// Tool tests: dcpiprof aggregation/formatting, dcpistats statistics, and
+// dcpicalc listing structure on synthetic inputs.
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/tools/dcpicalc.h"
+#include "src/tools/dcpiprof.h"
+#include "src/tools/dcpiannotate.h"
+#include "src/tools/dcpistats.h"
+
+namespace dcpi {
+namespace {
+
+std::shared_ptr<ExecutableImage> TwoProcImage() {
+  const char* source = R"(
+        .text
+        .proc hot
+        nop
+        nop
+        nop
+        .endp
+        .proc cold
+        nop
+        .endp
+)";
+  return Assemble("app", 0x0100'0000, source).value();
+}
+
+TEST(Dcpiprof, AggregatesByProcedureSortedBySamples) {
+  auto image = TwoProcImage();
+  ImageProfile cycles("app", EventType::kCycles, 1000);
+  cycles.AddSamples(0, 10);   // hot
+  cycles.AddSamples(4, 70);   // hot
+  cycles.AddSamples(12, 20);  // cold
+  std::vector<ProfInput> inputs = {{image, &cycles, nullptr}};
+  std::vector<ProcedureRow> rows = ListProcedures(inputs);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].procedure, "hot");
+  EXPECT_EQ(rows[0].cycles_samples, 80u);
+  EXPECT_NEAR(rows[0].cycles_pct, 80.0, 1e-9);
+  EXPECT_NEAR(rows[0].cumulative_pct, 80.0, 1e-9);
+  EXPECT_EQ(rows[1].procedure, "cold");
+  EXPECT_NEAR(rows[1].cumulative_pct, 100.0, 1e-9);
+}
+
+TEST(Dcpiprof, SecondaryEventColumn) {
+  auto image = TwoProcImage();
+  ImageProfile cycles("app", EventType::kCycles, 1000);
+  cycles.AddSamples(0, 10);
+  ImageProfile imiss("app", EventType::kImiss, 100);
+  imiss.AddSamples(0, 4);
+  std::vector<ProfInput> inputs = {{image, &cycles, &imiss}};
+  std::vector<ProcedureRow> rows = ListProcedures(inputs);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].secondary_samples, 4u);
+  std::string listing = FormatProcedureListing(rows, "imiss");
+  EXPECT_NE(listing.find("imiss"), std::string::npos);
+  EXPECT_NE(listing.find("hot"), std::string::npos);
+}
+
+TEST(Dcpiprof, SamplesOutsideProceduresAreAnonymous) {
+  auto image = TwoProcImage();
+  ImageProfile cycles("app", EventType::kCycles, 1000);
+  cycles.AddSamples(400, 5);  // beyond both procedures
+  std::vector<ProfInput> inputs = {{image, &cycles, nullptr}};
+  std::vector<ProcedureRow> rows = ListProcedures(inputs);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].procedure, "<anonymous>");
+}
+
+TEST(Dcpiprof, ImageListingAggregatesAcrossInputs) {
+  auto image_a = TwoProcImage();
+  auto image_b = Assemble("libB", 0x0200'0000, ".proc p\nnop\n.endp\n").value();
+  ImageProfile cycles_a("app", EventType::kCycles, 1000);
+  cycles_a.AddSamples(0, 30);
+  ImageProfile cycles_b("libB", EventType::kCycles, 1000);
+  cycles_b.AddSamples(0, 70);
+  std::vector<ProfInput> inputs = {{image_a, &cycles_a, nullptr},
+                                   {image_b, &cycles_b, nullptr}};
+  std::vector<ImageRow> rows = ListImages(inputs);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].image, "libB");
+  EXPECT_NEAR(rows[0].cycles_pct, 70.0, 1e-9);
+}
+
+TEST(Dcpistats, RangeSortAndMoments) {
+  std::vector<ProcedureSamples> runs(4);
+  // stable_proc: constant; noisy_proc: wild swings.
+  for (int r = 0; r < 4; ++r) {
+    runs[r]["stable_proc"] = 1000;
+    runs[r]["noisy_proc"] = 500 + 400 * (r % 2);
+  }
+  std::vector<StatsRow> rows = ComputeStats(runs);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].procedure, "noisy_proc");
+  // range% = (900-500)/2800.
+  EXPECT_NEAR(rows[0].range_pct, 100.0 * 400 / 2800, 1e-9);
+  EXPECT_NEAR(rows[0].mean, 700, 1e-9);
+  EXPECT_EQ(rows[0].min, 500);
+  EXPECT_EQ(rows[0].max, 900);
+  EXPECT_NEAR(rows[1].range_pct, 0.0, 1e-12);
+  std::string text = FormatStats(runs, rows);
+  EXPECT_NE(text.find("noisy_proc"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(Dcpistats, MissingProcedureCountsAsZero) {
+  std::vector<ProcedureSamples> runs(2);
+  runs[0]["sometimes"] = 100;
+  std::vector<StatsRow> rows = ComputeStats(runs);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].min, 0);
+  EXPECT_EQ(rows[0].max, 100);
+}
+
+TEST(Dcpicalc, ListingShowsDualIssueAndBubbles) {
+  // A tiny procedure with a known schedule: two independent adds dual
+  // issue; a dependent multiply consumer stalls statically.
+  const char* source = R"(
+        .text
+        .proc p
+        addq r1, 1, r2
+        addq r3, 1, r4
+        mulq r2, r4, r5
+        addq r5, 1, r6
+        ret r31, (r26)
+        .endp
+)";
+  auto image = Assemble("app", 0x0100'0000, source).value();
+  ImageProfile cycles("app", EventType::kCycles, 1000);
+  cycles.AddSamples(0, 100);   // give the block samples so frequencies exist
+  cycles.AddSamples(12, 1100);  // the stalled consumer
+  AnalysisConfig config;
+  auto analysis = AnalyzeProcedure(*image, *image->FindProcedureByName("p"), cycles,
+                                   nullptr, nullptr, nullptr, nullptr, config);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  std::string listing = FormatCalcListing(*image, analysis.value());
+  EXPECT_NE(listing.find("(dual issue)"), std::string::npos);
+  EXPECT_NE(listing.find("Ra dependency"), std::string::npos);
+  EXPECT_NE(listing.find("Best-case"), std::string::npos);
+  std::string summary = FormatStallSummary(analysis.value());
+  EXPECT_NE(summary.find("Subtotal static"), std::string::npos);
+  EXPECT_NE(summary.find("Total tallied"), std::string::npos);
+}
+
+TEST(Dcpiannotate, AnnotatesHotSourceLines) {
+  const char* source = R"(        .text
+        .proc p
+        addq r1, 1, r2
+        mulq r2, r2, r3
+        ret r31, (r26)
+        .endp
+)";
+  auto image = Assemble("app", 0x0100'0000, source).value();
+  ImageProfile cycles("app", EventType::kCycles, 1000);
+  cycles.AddSamples(0, 25);  // the addq (instruction 0, source line 3)
+  cycles.AddSamples(4, 75);  // the mulq (source line 4)
+  std::string annotated = FormatAnnotatedSource(*image, source, cycles);
+  // The mulq line carries 75 samples / 75%.
+  EXPECT_NE(annotated.find("75  75.00% |         mulq"), std::string::npos) << annotated;
+  EXPECT_NE(annotated.find("25  25.00% |         addq"), std::string::npos) << annotated;
+  // Directive lines carry no samples.
+  EXPECT_NE(annotated.find("|         .text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcpi

@@ -1,0 +1,130 @@
+// Workload suite validation: every Table 2 workload assembles and runs to
+// completion, and each single-cause microworkload produces its intended
+// dominant stall cause in the simulator's ground truth.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/workloads.h"
+
+namespace dcpi {
+namespace {
+
+// Runs a workload at tiny scale in base mode; returns the system.
+std::unique_ptr<System> RunTiny(Workload workload) {
+  SystemConfig config;
+  config.kernel.num_cpus = std::max(1u, workload.num_cpus);
+  auto system = std::make_unique<System>(config);
+  EXPECT_TRUE(workload.Instantiate(system.get()).ok()) << workload.name;
+  SystemResult result = system->Run();
+  EXPECT_FALSE(result.had_error) << workload.name;
+  EXPECT_GT(result.instructions, 1000u) << workload.name;
+  return system;
+}
+
+class Table2Workload : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Table2Workload, AssemblesAndRunsClean) {
+  WorkloadFactory factory(/*scale=*/0.02, /*seed=*/3);
+  std::vector<Workload> suite = factory.Table2Suite();
+  ASSERT_LT(GetParam(), suite.size());
+  Workload workload = suite[GetParam()];
+  std::unique_ptr<System> system = RunTiny(std::move(workload));
+  // Every process finished.
+  for (const auto& process : system->kernel().processes()) {
+    EXPECT_EQ(process->state(), ProcessState::kDone) << process->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, Table2Workload, ::testing::Range<size_t>(0, 8));
+
+// Sums ground-truth stall cycles by cause over all images.
+void SumStalls(System& system, uint64_t out[kNumStallCauses]) {
+  for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
+    for (const InstructionTruth& instr : truth.instructions) {
+      for (int c = 0; c < kNumStallCauses; ++c) out[c] += instr.stall_cycles[c];
+    }
+  }
+}
+
+TEST(Microworkloads, PointerChaseIsDcacheBound) {
+  WorkloadFactory factory(/*scale=*/0.1);
+  std::unique_ptr<System> system = RunTiny(factory.PointerChase());
+  uint64_t stalls[kNumStallCauses] = {};
+  SumStalls(*system, stalls);
+  uint64_t dcache = stalls[static_cast<int>(StallCause::kDcacheMiss)];
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    if (c == static_cast<int>(StallCause::kDcacheMiss)) continue;
+    EXPECT_GE(dcache, stalls[c]) << StallCauseName(static_cast<StallCause>(c));
+  }
+}
+
+TEST(Microworkloads, BranchHeavyIsMispredictBound) {
+  WorkloadFactory factory(/*scale=*/0.1);
+  std::unique_ptr<System> system = RunTiny(factory.BranchHeavy());
+  uint64_t stalls[kNumStallCauses] = {};
+  SumStalls(*system, stalls);
+  uint64_t mp = stalls[static_cast<int>(StallCause::kBranchMispredict)];
+  EXPECT_GT(mp, 0u);
+  EXPECT_GE(mp, stalls[static_cast<int>(StallCause::kDcacheMiss)]);
+  EXPECT_GE(mp, stalls[static_cast<int>(StallCause::kIcacheMiss)]);
+}
+
+TEST(Microworkloads, IcacheStressIsIcacheBound) {
+  WorkloadFactory factory(/*scale=*/0.2);
+  std::unique_ptr<System> system = RunTiny(factory.IcacheStress());
+  uint64_t stalls[kNumStallCauses] = {};
+  SumStalls(*system, stalls);
+  uint64_t icache = stalls[static_cast<int>(StallCause::kIcacheMiss)];
+  EXPECT_GT(icache, 0u);
+  EXPECT_GE(icache, stalls[static_cast<int>(StallCause::kDcacheMiss)]);
+  EXPECT_GE(icache, stalls[static_cast<int>(StallCause::kBranchMispredict)]);
+}
+
+TEST(Microworkloads, ImulFdivOccupiesUnits) {
+  WorkloadFactory factory(/*scale=*/0.1);
+  std::unique_ptr<System> system = RunTiny(factory.ImulFdivStress());
+  uint64_t stalls[kNumStallCauses] = {};
+  SumStalls(*system, stalls);
+  // Unit occupancy and long dependency latency dominate.
+  uint64_t fu = stalls[static_cast<int>(StallCause::kImulBusy)] +
+                stalls[static_cast<int>(StallCause::kFdivBusy)] +
+                stalls[static_cast<int>(StallCause::kDependency)];
+  EXPECT_GT(fu, stalls[static_cast<int>(StallCause::kDcacheMiss)]);
+}
+
+TEST(Microworkloads, WriteBufferStressOverflows) {
+  WorkloadFactory factory(/*scale=*/0.2);
+  std::unique_ptr<System> system = RunTiny(factory.WriteBufferStress());
+  uint64_t stalls[kNumStallCauses] = {};
+  SumStalls(*system, stalls);
+  EXPECT_GT(stalls[static_cast<int>(StallCause::kWriteBuffer)], 1000u);
+}
+
+TEST(WorkloadFactory, ImagesGetDistinctBases) {
+  WorkloadFactory factory(0.05);
+  Workload x11 = factory.X11PerfLike();
+  Workload copy = factory.McCalpin(StreamKernel::kCopy);
+  std::vector<std::shared_ptr<ExecutableImage>> images = x11.processes[0].images;
+  images.push_back(copy.processes[0].images[0]);
+  for (size_t i = 0; i < images.size(); ++i) {
+    for (size_t j = i + 1; j < images.size(); ++j) {
+      bool disjoint = images[i]->text_end() <= images[j]->text_base() ||
+                      images[j]->text_end() <= images[i]->text_base();
+      EXPECT_TRUE(disjoint) << images[i]->name() << " vs " << images[j]->name();
+    }
+  }
+}
+
+TEST(WorkloadFactory, GccUsesOneSharedImageManyPids) {
+  WorkloadFactory factory(0.05);
+  Workload gcc = factory.GccLike(5);
+  ASSERT_EQ(gcc.processes.size(), 5u);
+  for (const ProcessSpec& spec : gcc.processes) {
+    EXPECT_EQ(spec.images[0].get(), gcc.processes[0].images[0].get());
+  }
+  // Large flat text (the property that drives the eviction rate).
+  EXPECT_GT(gcc.processes[0].images[0]->num_instructions(), 5000u);
+}
+
+}  // namespace
+}  // namespace dcpi
