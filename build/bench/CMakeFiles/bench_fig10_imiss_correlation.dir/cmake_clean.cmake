@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_imiss_correlation.dir/bench_fig10_imiss_correlation.cc.o"
+  "CMakeFiles/bench_fig10_imiss_correlation.dir/bench_fig10_imiss_correlation.cc.o.d"
+  "bench_fig10_imiss_correlation"
+  "bench_fig10_imiss_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_imiss_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dcpiprof.dir/bench_fig1_dcpiprof.cc.o"
+  "CMakeFiles/bench_fig1_dcpiprof.dir/bench_fig1_dcpiprof.cc.o.d"
+  "bench_fig1_dcpiprof"
+  "bench_fig1_dcpiprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dcpiprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

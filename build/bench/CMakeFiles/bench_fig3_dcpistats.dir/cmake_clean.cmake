@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dcpistats.dir/bench_fig3_dcpistats.cc.o"
+  "CMakeFiles/bench_fig3_dcpistats.dir/bench_fig3_dcpistats.cc.o.d"
+  "bench_fig3_dcpistats"
+  "bench_fig3_dcpistats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dcpistats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_frequency_copy.dir/bench_fig7_frequency_copy.cc.o"
+  "CMakeFiles/bench_fig7_frequency_copy.dir/bench_fig7_frequency_copy.cc.o.d"
+  "bench_fig7_frequency_copy"
+  "bench_fig7_frequency_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_frequency_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

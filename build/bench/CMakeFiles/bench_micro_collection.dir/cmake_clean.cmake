@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_collection.dir/bench_micro_collection.cc.o"
+  "CMakeFiles/bench_micro_collection.dir/bench_micro_collection.cc.o.d"
+  "bench_micro_collection"
+  "bench_micro_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

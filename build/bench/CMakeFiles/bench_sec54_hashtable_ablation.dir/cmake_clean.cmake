@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_hashtable_ablation.dir/bench_sec54_hashtable_ablation.cc.o"
+  "CMakeFiles/bench_sec54_hashtable_ablation.dir/bench_sec54_hashtable_ablation.cc.o.d"
+  "bench_sec54_hashtable_ablation"
+  "bench_sec54_hashtable_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_hashtable_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

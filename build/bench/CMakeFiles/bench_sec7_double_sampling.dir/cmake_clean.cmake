@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_double_sampling.dir/bench_sec7_double_sampling.cc.o"
+  "CMakeFiles/bench_sec7_double_sampling.dir/bench_sec7_double_sampling.cc.o.d"
+  "bench_sec7_double_sampling"
+  "bench_sec7_double_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_double_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_slowdown.dir/bench_table3_slowdown.cc.o"
+  "CMakeFiles/bench_table3_slowdown.dir/bench_table3_slowdown.cc.o.d"
+  "bench_table3_slowdown"
+  "bench_table3_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_overhead_components.dir/bench_table4_overhead_components.cc.o"
+  "CMakeFiles/bench_table4_overhead_components.dir/bench_table4_overhead_components.cc.o.d"
+  "bench_table4_overhead_components"
+  "bench_table4_overhead_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_overhead_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

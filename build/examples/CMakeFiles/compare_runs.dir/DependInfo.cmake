@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compare_runs.cpp" "examples/CMakeFiles/compare_runs.dir/compare_runs.cpp.o" "gcc" "examples/CMakeFiles/compare_runs.dir/compare_runs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/dcpi_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dcpi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcpi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcpi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemon/CMakeFiles/dcpi_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiledb/CMakeFiles/dcpi_profiledb.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/dcpi_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcpi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfctr/CMakeFiles/dcpi_perfctr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dcpi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dcpi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

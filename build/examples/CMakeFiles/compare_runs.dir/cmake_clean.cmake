@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_runs.dir/compare_runs.cpp.o"
+  "CMakeFiles/compare_runs.dir/compare_runs.cpp.o.d"
+  "compare_runs"
+  "compare_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

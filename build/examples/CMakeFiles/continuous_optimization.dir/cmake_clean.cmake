@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_optimization.dir/continuous_optimization.cpp.o"
+  "CMakeFiles/continuous_optimization.dir/continuous_optimization.cpp.o.d"
+  "continuous_optimization"
+  "continuous_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

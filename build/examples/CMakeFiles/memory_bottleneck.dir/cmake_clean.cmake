@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_bottleneck.dir/memory_bottleneck.cpp.o"
+  "CMakeFiles/memory_bottleneck.dir/memory_bottleneck.cpp.o.d"
+  "memory_bottleneck"
+  "memory_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

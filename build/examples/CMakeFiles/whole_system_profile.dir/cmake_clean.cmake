@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_system_profile.dir/whole_system_profile.cpp.o"
+  "CMakeFiles/whole_system_profile.dir/whole_system_profile.cpp.o.d"
+  "whole_system_profile"
+  "whole_system_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_system_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

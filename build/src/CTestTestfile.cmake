@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("memory")
+subdirs("cpu")
+subdirs("perfctr")
+subdirs("kernel")
+subdirs("driver")
+subdirs("profiledb")
+subdirs("daemon")
+subdirs("sim")
+subdirs("analysis")
+subdirs("optimize")
+subdirs("tools")
+subdirs("workloads")

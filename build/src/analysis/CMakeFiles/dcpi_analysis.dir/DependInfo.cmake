@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/analysis/CMakeFiles/dcpi_analysis.dir/analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/dcpi_analysis.dir/analyzer.cc.o.d"
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/dcpi_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/dcpi_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/cycle_equiv.cc" "src/analysis/CMakeFiles/dcpi_analysis.dir/cycle_equiv.cc.o" "gcc" "src/analysis/CMakeFiles/dcpi_analysis.dir/cycle_equiv.cc.o.d"
+  "/root/repo/src/analysis/frequency.cc" "src/analysis/CMakeFiles/dcpi_analysis.dir/frequency.cc.o" "gcc" "src/analysis/CMakeFiles/dcpi_analysis.dir/frequency.cc.o.d"
+  "/root/repo/src/analysis/static_schedule.cc" "src/analysis/CMakeFiles/dcpi_analysis.dir/static_schedule.cc.o" "gcc" "src/analysis/CMakeFiles/dcpi_analysis.dir/static_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/dcpi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcpi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiledb/CMakeFiles/dcpi_profiledb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcpi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dcpi_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

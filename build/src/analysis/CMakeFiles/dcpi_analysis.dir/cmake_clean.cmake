@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/dcpi_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/dcpi_analysis.dir/cfg.cc.o"
+  "CMakeFiles/dcpi_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/dcpi_analysis.dir/cycle_equiv.cc.o"
+  "CMakeFiles/dcpi_analysis.dir/cycle_equiv.cc.o.d"
+  "CMakeFiles/dcpi_analysis.dir/frequency.cc.o"
+  "CMakeFiles/dcpi_analysis.dir/frequency.cc.o.d"
+  "CMakeFiles/dcpi_analysis.dir/static_schedule.cc.o"
+  "CMakeFiles/dcpi_analysis.dir/static_schedule.cc.o.d"
+  "libdcpi_analysis.a"
+  "libdcpi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cc" "src/cpu/CMakeFiles/dcpi_cpu.dir/branch_predictor.cc.o" "gcc" "src/cpu/CMakeFiles/dcpi_cpu.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/dcpi_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/dcpi_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/ground_truth.cc" "src/cpu/CMakeFiles/dcpi_cpu.dir/ground_truth.cc.o" "gcc" "src/cpu/CMakeFiles/dcpi_cpu.dir/ground_truth.cc.o.d"
+  "/root/repo/src/cpu/pipeline_model.cc" "src/cpu/CMakeFiles/dcpi_cpu.dir/pipeline_model.cc.o" "gcc" "src/cpu/CMakeFiles/dcpi_cpu.dir/pipeline_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dcpi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dcpi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

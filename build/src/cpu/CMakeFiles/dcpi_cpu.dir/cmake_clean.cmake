@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/dcpi_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/dcpi_cpu.dir/cpu.cc.o"
+  "CMakeFiles/dcpi_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/dcpi_cpu.dir/ground_truth.cc.o"
+  "CMakeFiles/dcpi_cpu.dir/ground_truth.cc.o.d"
+  "CMakeFiles/dcpi_cpu.dir/pipeline_model.cc.o"
+  "CMakeFiles/dcpi_cpu.dir/pipeline_model.cc.o.d"
+  "libdcpi_cpu.a"
+  "libdcpi_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

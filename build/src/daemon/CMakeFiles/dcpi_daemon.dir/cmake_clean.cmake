@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_daemon.dir/daemon.cc.o"
+  "CMakeFiles/dcpi_daemon.dir/daemon.cc.o.d"
+  "libdcpi_daemon.a"
+  "libdcpi_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

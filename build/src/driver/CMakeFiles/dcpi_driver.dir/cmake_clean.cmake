@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_driver.dir/driver.cc.o"
+  "CMakeFiles/dcpi_driver.dir/driver.cc.o.d"
+  "CMakeFiles/dcpi_driver.dir/hash_table.cc.o"
+  "CMakeFiles/dcpi_driver.dir/hash_table.cc.o.d"
+  "libdcpi_driver.a"
+  "libdcpi_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_isa.dir/assembler.cc.o"
+  "CMakeFiles/dcpi_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/dcpi_isa.dir/image.cc.o"
+  "CMakeFiles/dcpi_isa.dir/image.cc.o.d"
+  "CMakeFiles/dcpi_isa.dir/image_io.cc.o"
+  "CMakeFiles/dcpi_isa.dir/image_io.cc.o.d"
+  "CMakeFiles/dcpi_isa.dir/instruction.cc.o"
+  "CMakeFiles/dcpi_isa.dir/instruction.cc.o.d"
+  "libdcpi_isa.a"
+  "libdcpi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

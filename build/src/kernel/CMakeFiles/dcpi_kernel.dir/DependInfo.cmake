@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cc" "src/kernel/CMakeFiles/dcpi_kernel.dir/address_space.cc.o" "gcc" "src/kernel/CMakeFiles/dcpi_kernel.dir/address_space.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/dcpi_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/dcpi_kernel.dir/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/dcpi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcpi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dcpi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

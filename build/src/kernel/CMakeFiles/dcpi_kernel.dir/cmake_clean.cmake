@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_kernel.dir/address_space.cc.o"
+  "CMakeFiles/dcpi_kernel.dir/address_space.cc.o.d"
+  "CMakeFiles/dcpi_kernel.dir/kernel.cc.o"
+  "CMakeFiles/dcpi_kernel.dir/kernel.cc.o.d"
+  "libdcpi_kernel.a"
+  "libdcpi_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/cache.cc" "src/memory/CMakeFiles/dcpi_memory.dir/cache.cc.o" "gcc" "src/memory/CMakeFiles/dcpi_memory.dir/cache.cc.o.d"
+  "/root/repo/src/memory/memory_system.cc" "src/memory/CMakeFiles/dcpi_memory.dir/memory_system.cc.o" "gcc" "src/memory/CMakeFiles/dcpi_memory.dir/memory_system.cc.o.d"
+  "/root/repo/src/memory/tlb.cc" "src/memory/CMakeFiles/dcpi_memory.dir/tlb.cc.o" "gcc" "src/memory/CMakeFiles/dcpi_memory.dir/tlb.cc.o.d"
+  "/root/repo/src/memory/write_buffer.cc" "src/memory/CMakeFiles/dcpi_memory.dir/write_buffer.cc.o" "gcc" "src/memory/CMakeFiles/dcpi_memory.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dcpi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_memory.dir/cache.cc.o"
+  "CMakeFiles/dcpi_memory.dir/cache.cc.o.d"
+  "CMakeFiles/dcpi_memory.dir/memory_system.cc.o"
+  "CMakeFiles/dcpi_memory.dir/memory_system.cc.o.d"
+  "CMakeFiles/dcpi_memory.dir/tlb.cc.o"
+  "CMakeFiles/dcpi_memory.dir/tlb.cc.o.d"
+  "CMakeFiles/dcpi_memory.dir/write_buffer.cc.o"
+  "CMakeFiles/dcpi_memory.dir/write_buffer.cc.o.d"
+  "libdcpi_memory.a"
+  "libdcpi_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

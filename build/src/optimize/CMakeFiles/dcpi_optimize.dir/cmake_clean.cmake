@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_optimize.dir/layout.cc.o"
+  "CMakeFiles/dcpi_optimize.dir/layout.cc.o.d"
+  "libdcpi_optimize.a"
+  "libdcpi_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

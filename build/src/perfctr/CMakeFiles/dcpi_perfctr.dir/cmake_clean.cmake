@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_perfctr.dir/perf_counters.cc.o"
+  "CMakeFiles/dcpi_perfctr.dir/perf_counters.cc.o.d"
+  "libdcpi_perfctr.a"
+  "libdcpi_perfctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_perfctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_profiledb.dir/database.cc.o"
+  "CMakeFiles/dcpi_profiledb.dir/database.cc.o.d"
+  "libdcpi_profiledb.a"
+  "libdcpi_profiledb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_profiledb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

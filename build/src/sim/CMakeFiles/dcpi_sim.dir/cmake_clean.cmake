@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_sim.dir/system.cc.o"
+  "CMakeFiles/dcpi_sim.dir/system.cc.o.d"
+  "libdcpi_sim.a"
+  "libdcpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcpi_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_support.dir/binary_io.cc.o"
+  "CMakeFiles/dcpi_support.dir/binary_io.cc.o.d"
+  "CMakeFiles/dcpi_support.dir/stats.cc.o"
+  "CMakeFiles/dcpi_support.dir/stats.cc.o.d"
+  "CMakeFiles/dcpi_support.dir/status.cc.o"
+  "CMakeFiles/dcpi_support.dir/status.cc.o.d"
+  "CMakeFiles/dcpi_support.dir/text_table.cc.o"
+  "CMakeFiles/dcpi_support.dir/text_table.cc.o.d"
+  "libdcpi_support.a"
+  "libdcpi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

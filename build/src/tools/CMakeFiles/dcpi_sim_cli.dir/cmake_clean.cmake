@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_sim_cli.dir/dcpi_sim_main.cc.o"
+  "CMakeFiles/dcpi_sim_cli.dir/dcpi_sim_main.cc.o.d"
+  "dcpi_sim"
+  "dcpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_tools.dir/dcpiannotate.cc.o"
+  "CMakeFiles/dcpi_tools.dir/dcpiannotate.cc.o.d"
+  "CMakeFiles/dcpi_tools.dir/dcpicalc.cc.o"
+  "CMakeFiles/dcpi_tools.dir/dcpicalc.cc.o.d"
+  "CMakeFiles/dcpi_tools.dir/dcpidiff.cc.o"
+  "CMakeFiles/dcpi_tools.dir/dcpidiff.cc.o.d"
+  "CMakeFiles/dcpi_tools.dir/dcpiprof.cc.o"
+  "CMakeFiles/dcpi_tools.dir/dcpiprof.cc.o.d"
+  "CMakeFiles/dcpi_tools.dir/dcpistats.cc.o"
+  "CMakeFiles/dcpi_tools.dir/dcpistats.cc.o.d"
+  "CMakeFiles/dcpi_tools.dir/toolkit.cc.o"
+  "CMakeFiles/dcpi_tools.dir/toolkit.cc.o.d"
+  "libdcpi_tools.a"
+  "libdcpi_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

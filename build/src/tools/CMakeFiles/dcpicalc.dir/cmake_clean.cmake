@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpicalc.dir/dcpicalc_main.cc.o"
+  "CMakeFiles/dcpicalc.dir/dcpicalc_main.cc.o.d"
+  "dcpicalc"
+  "dcpicalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpicalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dcpicalc.
+# This may be replaced when dependencies are built.

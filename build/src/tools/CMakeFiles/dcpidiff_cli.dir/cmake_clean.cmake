@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpidiff_cli.dir/dcpidiff_main.cc.o"
+  "CMakeFiles/dcpidiff_cli.dir/dcpidiff_main.cc.o.d"
+  "dcpidiff"
+  "dcpidiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpidiff_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpiprof.dir/dcpiprof_main.cc.o"
+  "CMakeFiles/dcpiprof.dir/dcpiprof_main.cc.o.d"
+  "dcpiprof"
+  "dcpiprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpiprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dcpiprof.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpistats_cli.dir/dcpistats_main.cc.o"
+  "CMakeFiles/dcpistats_cli.dir/dcpistats_main.cc.o.d"
+  "dcpistats"
+  "dcpistats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpistats_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

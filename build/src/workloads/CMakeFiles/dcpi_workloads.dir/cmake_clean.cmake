@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpi_workloads.dir/workloads.cc.o"
+  "CMakeFiles/dcpi_workloads.dir/workloads.cc.o.d"
+  "libdcpi_workloads.a"
+  "libdcpi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_equiv_test.dir/cycle_equiv_test.cc.o"
+  "CMakeFiles/cycle_equiv_test.dir/cycle_equiv_test.cc.o.d"
+  "cycle_equiv_test"
+  "cycle_equiv_test.pdb"
+  "cycle_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

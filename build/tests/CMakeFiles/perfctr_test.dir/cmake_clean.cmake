@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfctr_test.dir/perfctr_test.cc.o"
+  "CMakeFiles/perfctr_test.dir/perfctr_test.cc.o.d"
+  "perfctr_test"
+  "perfctr_test.pdb"
+  "perfctr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfctr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

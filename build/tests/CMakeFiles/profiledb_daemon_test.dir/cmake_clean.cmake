@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiledb_daemon_test.dir/profiledb_daemon_test.cc.o"
+  "CMakeFiles/profiledb_daemon_test.dir/profiledb_daemon_test.cc.o.d"
+  "profiledb_daemon_test"
+  "profiledb_daemon_test.pdb"
+  "profiledb_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiledb_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_schedule_test.dir/static_schedule_test.cc.o"
+  "CMakeFiles/static_schedule_test.dir/static_schedule_test.cc.o.d"
+  "static_schedule_test"
+  "static_schedule_test.pdb"
+  "static_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

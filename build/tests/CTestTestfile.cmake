@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kernel_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cycle_equiv_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/perfctr_test[1]_include.cmake")
+include("/root/repo/build/tests/profiledb_daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/frequency_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/static_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/optimize_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
