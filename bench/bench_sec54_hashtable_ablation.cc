@@ -80,7 +80,7 @@ int main() {
       Status status = workload->Instantiate(&system);
       if (!status.ok()) return 1;
       system.Run();
-      const std::vector<SampleKey>& t = system.driver()->trace();
+      const std::vector<SampleKey> t = system.driver()->Trace();
       trace.insert(trace.end(), t.begin(), t.end());
     }
   }

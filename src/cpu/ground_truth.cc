@@ -75,6 +75,33 @@ void GroundTruth::AddEdge(uint64_t from_pc, uint64_t to_pc) {
   ++truth->edges[{from_pc - base, to_pc - base}];
 }
 
+void GroundTruth::DrainInto(GroundTruth* dst) {
+  for (ImageTruth& src : images_) {
+    ImageTruth* out = nullptr;
+    for (ImageTruth& candidate : dst->images_) {
+      if (candidate.image == src.image) {
+        out = &candidate;
+        break;
+      }
+    }
+    if (out == nullptr) continue;  // image unknown to dst; nothing to fold
+    for (size_t i = 0; i < src.instructions.size(); ++i) {
+      InstructionTruth& from = src.instructions[i];
+      InstructionTruth& to = out->instructions[i];
+      to.exec_count += from.exec_count;
+      to.head_cycles += from.head_cycles;
+      for (int c = 0; c < kNumStallCauses; ++c) to.stall_cycles[c] += from.stall_cycles[c];
+      to.imiss_events += from.imiss_events;
+      to.dmiss_events += from.dmiss_events;
+      to.mispredict_events += from.mispredict_events;
+      to.dtbmiss_events += from.dtbmiss_events;
+      from = InstructionTruth();
+    }
+    for (const auto& [edge, count] : src.edges) out->edges[edge] += count;
+    src.edges.clear();
+  }
+}
+
 const ImageTruth* GroundTruth::FindImage(const ExecutableImage* image) const {
   for (const auto& t : images_) {
     if (t.image.get() == image) return &t;

@@ -62,6 +62,12 @@ class GroundTruth {
   // Registers an image; instruction counters are indexed by PC range.
   void AddImage(std::shared_ptr<const ExecutableImage> image);
 
+  // Moves every counter in this recorder into `dst`, zeroing them here.
+  // `dst` must have been given the same AddImage sequence. The kernel uses
+  // this to fold per-CPU recorder shards (one per host thread, so recording
+  // needs no synchronization) into the merged machine-wide view.
+  void DrainInto(GroundTruth* dst);
+
   // Fast lookup of the truth record for an absolute PC (images are
   // prelinked at unique addresses). Returns nullptr for unknown PCs.
   InstructionTruth* ForPc(uint64_t pc);

@@ -20,7 +20,12 @@ Daemon::Daemon(DcpiDriver* driver, ProfileDatabase* database,
   }
 }
 
+Daemon::~Daemon() {
+  if (drain_thread_running()) StopDrainThread();
+}
+
 void Daemon::ProcessLoaderEvents(std::vector<LoaderEvent> events) {
+  std::unique_lock lock(maps_mu_);
   for (LoaderEvent& event : events) {
     if (event.kind == LoaderEvent::Kind::kLoadImage && event.image != nullptr) {
       std::vector<Mapping>& maps = load_maps_[event.pid];
@@ -34,7 +39,7 @@ void Daemon::ProcessLoaderEvents(std::vector<LoaderEvent> events) {
   }
 }
 
-const Daemon::Mapping* Daemon::ResolvePc(uint32_t pid, uint64_t pc) {
+const Daemon::Mapping* Daemon::ResolvePc(uint32_t pid, uint64_t pc) const {
   auto it = load_maps_.find(pid);
   if (it == load_maps_.end()) return nullptr;
   const std::vector<Mapping>& maps = it->second;
@@ -46,65 +51,112 @@ const Daemon::Mapping* Daemon::ResolvePc(uint32_t pid, uint64_t pc) {
   return (pc >= map_it->start && pc < map_it->end) ? &*map_it : nullptr;
 }
 
-ImageProfile* Daemon::ProfileFor(const std::string& image_name, EventType event) {
+Daemon::ProfileSlot* Daemon::SlotFor(const std::string& image_name, EventType event) {
   auto key = std::make_pair(image_name, static_cast<int>(event));
+  std::lock_guard lock(profiles_mu_);
   auto it = profiles_.find(key);
   if (it == profiles_.end()) {
-    it = profiles_
-             .emplace(key, std::make_unique<ImageProfile>(
-                               image_name, event,
-                               mean_periods_[static_cast<int>(event)]))
-             .first;
+    auto slot = std::make_unique<ProfileSlot>();
+    slot->profile = ImageProfile(image_name, event,
+                                 mean_periods_[static_cast<int>(event)]);
+    it = profiles_.emplace(key, std::move(slot)).first;
   }
   return it->second.get();
 }
 
 void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records) {
   (void)cpu_id;
-  stats_.daemon_cycles += config_.cycles_per_buffer_flush;
+  daemon_cycles_.fetch_add(config_.cycles_per_buffer_flush, std::memory_order_relaxed);
+  std::shared_lock maps_lock(maps_mu_);
   for (const SampleRecord& record : records) {
-    ++stats_.records_processed;
-    stats_.daemon_cycles += config_.cycles_per_record;
+    records_processed_.fetch_add(1, std::memory_order_relaxed);
+    daemon_cycles_.fetch_add(config_.cycles_per_record, std::memory_order_relaxed);
     const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
     if (mapping == nullptr) {
-      stats_.samples_unknown += record.count;
-      ProfileFor(kUnknownImage, record.key.event)->AddSamples(0, record.count);
+      samples_unknown_.fetch_add(record.count, std::memory_order_relaxed);
+      ProfileSlot* slot = SlotFor(kUnknownImage, record.key.event);
+      std::lock_guard lock(slot->mu);
+      slot->profile.AddSamples(0, record.count);
       continue;
     }
-    stats_.samples_attributed += record.count;
-    ProfileFor(mapping->image->name(), record.key.event)
-        ->AddSamples(record.key.pc - mapping->start, record.count);
+    samples_attributed_.fetch_add(record.count, std::memory_order_relaxed);
+    ProfileSlot* slot = SlotFor(mapping->image->name(), record.key.event);
+    std::lock_guard lock(slot->mu);
+    slot->profile.AddSamples(record.key.pc - mapping->start, record.count);
   }
+}
+
+void Daemon::StartDrainThread() {
+  if (driver_ == nullptr || drain_thread_running()) return;
+  drain_stop_.store(false, std::memory_order_relaxed);
+  driver_->SetDrainMode(DrainMode::kConcurrent);
+  drain_thread_ = std::thread([this] {
+    while (true) {
+      size_t consumed = driver_->DrainPublished();
+      if (consumed == 0) {
+        // Producers have quiesced by the time stop is set, so an empty
+        // sweep after the flag means nothing more can arrive: the
+        // shutdown wait is bounded.
+        if (drain_stop_.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+      }
+    }
+  });
+}
+
+void Daemon::StopDrainThread() {
+  if (!drain_thread_running()) return;
+  drain_stop_.store(true, std::memory_order_release);
+  drain_thread_.join();
+  driver_->DrainPublished();  // anything published after the final sweep
+  driver_->SetDrainMode(DrainMode::kInline);
 }
 
 Status Daemon::FlushToDatabase() {
   if (driver_ != nullptr) driver_->FlushAll();
   if (database_ == nullptr) return Status::Ok();
-  for (const auto& [key, profile] : profiles_) {
-    if (profile->distinct_offsets() == 0) continue;
-    DCPI_RETURN_IF_ERROR(database_->WriteProfile(*profile));
-    ++stats_.db_merges;
+  std::lock_guard lock(profiles_mu_);
+  for (const auto& [key, slot] : profiles_) {
+    if (slot->profile.distinct_offsets() == 0) continue;
+    DCPI_RETURN_IF_ERROR(database_->WriteProfile(slot->profile));
+    db_merges_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::Ok();
 }
 
 const ImageProfile* Daemon::FindProfile(const std::string& image_name,
                                         EventType event) const {
+  std::lock_guard lock(profiles_mu_);
   auto it = profiles_.find(std::make_pair(image_name, static_cast<int>(event)));
-  return it == profiles_.end() ? nullptr : it->second.get();
+  return it == profiles_.end() ? nullptr : &it->second->profile;
 }
 
 std::vector<const ImageProfile*> Daemon::AllProfiles() const {
+  std::lock_guard lock(profiles_mu_);
   std::vector<const ImageProfile*> all;
-  for (const auto& [key, profile] : profiles_) all.push_back(profile.get());
+  for (const auto& [key, slot] : profiles_) all.push_back(&slot->profile);
   return all;
 }
 
 uint64_t Daemon::MemoryUsageBytes() const {
   uint64_t total = 1 << 16;  // buffers to copy one overflow buffer, misc state
-  for (const auto& [pid, maps] : load_maps_) total += 64 + maps.size() * 48;
-  for (const auto& [key, profile] : profiles_) total += profile->memory_bytes();
+  {
+    std::shared_lock lock(maps_mu_);
+    for (const auto& [pid, maps] : load_maps_) total += 64 + maps.size() * 48;
+  }
+  std::lock_guard lock(profiles_mu_);
+  for (const auto& [key, slot] : profiles_) total += slot->profile.memory_bytes();
   return total;
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats snapshot;
+  snapshot.records_processed = records_processed_.load(std::memory_order_relaxed);
+  snapshot.samples_attributed = samples_attributed_.load(std::memory_order_relaxed);
+  snapshot.samples_unknown = samples_unknown_.load(std::memory_order_relaxed);
+  snapshot.daemon_cycles = daemon_cycles_.load(std::memory_order_relaxed);
+  snapshot.db_merges = db_merges_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 }  // namespace dcpi

@@ -8,16 +8,30 @@
 // aggregated into a synthetic "unknown" image, which the paper reports at
 // well under 1% of samples.
 //
+// Multiprocessor collection: StartDrainThread() spawns a dedicated drain
+// thread that concurrently consumes the driver's published overflow
+// buffers while one host thread per simulated CPU delivers samples.
+// ProcessBuffer is thread-safe: the load maps are guarded by a
+// reader/writer lock, aggregate counters are atomics, and each
+// (image, event) profile is guarded by its own mutex so merges into
+// different profiles do not contend. StopDrainThread() is a bounded-wait
+// shutdown: once producers have quiesced, the drain thread performs one
+// final empty sweep and exits.
+//
 // Daemon CPU cost is modelled per processed record (the paper's "three
 // hash lookups" path) and reported per-sample for the Table 4 accounting.
 
 #ifndef SRC_DAEMON_DAEMON_H_
 #define SRC_DAEMON_DAEMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -50,12 +64,21 @@ class Daemon {
   // supplies the mean sampling period per event (for profile metadata).
   Daemon(DcpiDriver* driver, ProfileDatabase* database,
          std::vector<double> mean_periods = {});
+  ~Daemon();
 
   // Ingests load-map updates from the kernel's modified loader.
   void ProcessLoaderEvents(std::vector<LoaderEvent> events);
 
-  // Handles one drained buffer (also used directly by tests).
+  // Handles one drained buffer (also used directly by tests). Thread-safe.
   void ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records);
+
+  // Concurrent drain of the driver's published overflow buffers. Start
+  // switches the driver to DrainMode::kConcurrent; Stop joins the thread,
+  // performs a final sweep, and restores inline draining. Stop must be
+  // called only after the sample-producing threads have quiesced.
+  void StartDrainThread();
+  void StopDrainThread();
+  bool drain_thread_running() const { return drain_thread_.joinable(); }
 
   // Flushes driver state and merges all in-memory profiles to disk.
   Status FlushToDatabase();
@@ -68,12 +91,15 @@ class Daemon {
   // Total resident memory modelled for the daemon: load maps + profiles.
   uint64_t MemoryUsageBytes() const;
 
-  const DaemonStats& stats() const { return stats_; }
+  // Snapshot of the aggregate counters.
+  DaemonStats stats() const;
 
   double UnknownSampleFraction() const {
-    uint64_t total = stats_.samples_attributed + stats_.samples_unknown;
+    uint64_t attributed = samples_attributed_.load(std::memory_order_relaxed);
+    uint64_t unknown = samples_unknown_.load(std::memory_order_relaxed);
+    uint64_t total = attributed + unknown;
     return total == 0 ? 0.0
-                      : static_cast<double>(stats_.samples_unknown) / static_cast<double>(total);
+                      : static_cast<double>(unknown) / static_cast<double>(total);
   }
 
  private:
@@ -83,17 +109,36 @@ class Daemon {
     std::shared_ptr<const ExecutableImage> image;
   };
 
-  const Mapping* ResolvePc(uint32_t pid, uint64_t pc);
-  ImageProfile* ProfileFor(const std::string& image_name, EventType event);
+  // One (image, event) aggregation slot; `mu` serializes merges into this
+  // profile so distinct profiles never contend (the per-(image,event)
+  // merge lock).
+  struct ProfileSlot {
+    std::mutex mu;
+    ImageProfile profile;
+  };
+
+  const Mapping* ResolvePc(uint32_t pid, uint64_t pc) const;
+  ProfileSlot* SlotFor(const std::string& image_name, EventType event);
 
   DcpiDriver* driver_;
   ProfileDatabase* database_;
   DaemonConfig config_;
   std::vector<double> mean_periods_;  // indexed by EventType
 
+  mutable std::shared_mutex maps_mu_;  // guards load_maps_
   std::unordered_map<uint32_t, std::vector<Mapping>> load_maps_;  // pid -> sorted maps
-  std::map<std::pair<std::string, int>, std::unique_ptr<ImageProfile>> profiles_;
-  DaemonStats stats_;
+
+  mutable std::mutex profiles_mu_;  // guards the profiles_ map structure
+  std::map<std::pair<std::string, int>, std::unique_ptr<ProfileSlot>> profiles_;
+
+  std::atomic<uint64_t> records_processed_{0};
+  std::atomic<uint64_t> samples_attributed_{0};
+  std::atomic<uint64_t> samples_unknown_{0};
+  std::atomic<uint64_t> daemon_cycles_{0};
+  std::atomic<uint64_t> db_merges_{0};
+
+  std::thread drain_thread_;
+  std::atomic<bool> drain_stop_{false};
 };
 
 }  // namespace dcpi

@@ -1,37 +1,84 @@
 #include "src/driver/driver.h"
 
+#include <thread>
+
 namespace dcpi {
 
 DcpiDriver::DcpiDriver(uint32_t num_cpus, const DriverConfig& config) : config_(config) {
-  per_cpu_.resize(num_cpus);
+  per_cpu_ = std::vector<PerCpu>(num_cpus);
   for (PerCpu& cpu : per_cpu_) {
     cpu.table = std::make_unique<SampleHashTable>(config.hash);
-    cpu.buffers[0].reserve(config.overflow_entries);
-    cpu.buffers[1].reserve(config.overflow_entries);
+    for (OverflowBuffer& buffer : cpu.buffers) {
+      buffer.records.resize(config.overflow_entries);
+    }
+    // Buffer 0 starts owned by the producer; buffer 1 is the free spare.
+    cpu.buffers[0].state.store(kProducer, std::memory_order_relaxed);
+    cpu.buffers[1].state.store(kFree, std::memory_order_relaxed);
   }
 }
 
-void DcpiDriver::AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const SampleRecord& record) {
-  std::vector<SampleRecord>& active = cpu->buffers[cpu->active_buffer];
-  active.push_back(record);
-  if (active.size() >= config_.overflow_entries) {
-    // Buffer full: notify the daemon and switch to the other buffer.
-    ++cpu->stats.overflow_buffer_flushes;
-    if (overflow_handler_) overflow_handler_(cpu_id, active);
-    active.clear();
-    cpu->active_buffer ^= 1;
+void DcpiDriver::PublishActive(uint32_t cpu_id, PerCpu* cpu) {
+  OverflowBuffer& full = cpu->buffers[cpu->active_buffer];
+  ++cpu->stats.overflow_buffer_flushes;
+  // The records and count are visible to any acquire-loader of kPublished.
+  full.state.store(kPublished, std::memory_order_release);
+
+  if (drain_mode_ == DrainMode::kInline) {
+    // No drain thread: consume the just-published buffer synchronously,
+    // which reproduces the original synchronous-callback behaviour.
+    DrainCpuPublished(cpu_id);
   }
+  OverflowBuffer& spare = cpu->buffers[cpu->active_buffer ^ 1];
+  bool waited = false;
+  for (int spins = 0; spare.state.load(std::memory_order_acquire) != kFree; ++spins) {
+    if (drain_mode_ == DrainMode::kInline) {
+      DrainCpuPublished(cpu_id);
+    } else {
+      // The daemon has fallen behind. The paper would drop records; we
+      // apply host-level backpressure instead so no sample is lost and the
+      // simulated results stay interleaving-independent. The wait costs
+      // host time only, never simulated cycles.
+      waited = true;
+      if (spins > 64) std::this_thread::yield();
+    }
+  }
+  if (waited) ++cpu->stats.publish_waits;
+  spare.state.store(kProducer, std::memory_order_relaxed);
+  cpu->active_buffer ^= 1;
+}
+
+void DcpiDriver::AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const SampleRecord& record) {
+  OverflowBuffer& active = cpu->buffers[cpu->active_buffer];
+  active.records[active.count++] = record;
+  if (active.count >= config_.overflow_entries) PublishActive(cpu_id, cpu);
+}
+
+void DcpiDriver::ServiceFlush(uint32_t cpu_id, PerCpu* cpu) {
+  cpu->table->Flush(
+      [&](const SampleRecord& record) { AppendOverflow(cpu_id, cpu, record); });
+  OverflowBuffer& active = cpu->buffers[cpu->active_buffer];
+  if (active.count > 0) PublishActive(cpu_id, cpu);
 }
 
 uint64_t DcpiDriver::DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
                                    EventType event) {
   PerCpu& cpu = per_cpu_[cpu_id];
+  uint64_t cost = 0;
+  if (cpu.flush_requested.load(std::memory_order_relaxed)) {
+    // The IPI-modeled flush: the daemon flagged this CPU; the handler does
+    // the drain itself, so the hash table and buffers still have a single
+    // writer.
+    cpu.flush_requested.store(false, std::memory_order_relaxed);
+    ServiceFlush(cpu_id, &cpu);
+    ++cpu.stats.flush_requests_serviced;
+    cost += config_.ipi_flush_cycles;
+  }
   SampleKey key{pid, pc, event};
-  if (config_.record_trace && trace_.size() < config_.max_trace_samples) {
-    trace_.push_back(key);
+  if (config_.record_trace && cpu.trace.size() < config_.max_trace_samples) {
+    cpu.trace.push_back(key);
   }
   SampleHashTable::RecordResult result = cpu.table->Record(key);
-  uint64_t cost = config_.intr_setup_cycles;
+  cost += config_.intr_setup_cycles;
   if (result.hit && !result.evicted) {
     ++cpu.stats.hash_hits;
     cost += config_.hit_body_cycles;
@@ -45,15 +92,56 @@ uint64_t DcpiDriver::DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
   return cost;
 }
 
+void DcpiDriver::RequestFlush() {
+  for (PerCpu& cpu : per_cpu_) {
+    cpu.flush_requested.store(true, std::memory_order_relaxed);
+  }
+}
+
+void DcpiDriver::FlushCpu(uint32_t cpu_id) {
+  PerCpu& cpu = per_cpu_[cpu_id];
+  cpu.flush_requested.store(false, std::memory_order_relaxed);
+  ServiceFlush(cpu_id, &cpu);
+}
+
+size_t DcpiDriver::DrainCpuPublished(uint32_t cpu_id) {
+  PerCpu& cpu = per_cpu_[cpu_id];
+  size_t consumed = 0;
+  for (OverflowBuffer& buffer : cpu.buffers) {
+    uint8_t expected = kPublished;
+    if (!buffer.state.compare_exchange_strong(expected, kDraining,
+                                              std::memory_order_acquire)) {
+      continue;
+    }
+    // The daemon's copy-out: snapshot the records, hand the buffer back to
+    // the producer, then process the copy.
+    std::vector<SampleRecord> drained(buffer.records.begin(),
+                                      buffer.records.begin() + buffer.count);
+    buffer.count = 0;
+    buffer.state.store(kFree, std::memory_order_release);
+    if (overflow_handler_) overflow_handler_(cpu_id, drained);
+    ++consumed;
+  }
+  return consumed;
+}
+
+size_t DcpiDriver::DrainPublished() {
+  size_t consumed = 0;
+  for (uint32_t cpu_id = 0; cpu_id < per_cpu_.size(); ++cpu_id) {
+    consumed += DrainCpuPublished(cpu_id);
+  }
+  return consumed;
+}
+
 void DcpiDriver::FlushAll() {
   for (uint32_t cpu_id = 0; cpu_id < per_cpu_.size(); ++cpu_id) {
+    DrainCpuPublished(cpu_id);
     PerCpu& cpu = per_cpu_[cpu_id];
     std::vector<SampleRecord> drained;
     cpu.table->Flush([&](const SampleRecord& record) { drained.push_back(record); });
-    for (int b = 0; b < 2; ++b) {
-      for (const SampleRecord& record : cpu.buffers[b]) drained.push_back(record);
-      cpu.buffers[b].clear();
-    }
+    OverflowBuffer& active = cpu.buffers[cpu.active_buffer];
+    for (size_t i = 0; i < active.count; ++i) drained.push_back(active.records[i]);
+    active.count = 0;
     if (!drained.empty() && overflow_handler_) overflow_handler_(cpu_id, drained);
   }
 }
@@ -66,6 +154,8 @@ DriverCpuStats DcpiDriver::TotalStats() const {
     total.hash_misses += cpu.stats.hash_misses;
     total.handler_cycles += cpu.stats.handler_cycles;
     total.overflow_buffer_flushes += cpu.stats.overflow_buffer_flushes;
+    total.flush_requests_serviced += cpu.stats.flush_requests_serviced;
+    total.publish_waits += cpu.stats.publish_waits;
   }
   return total;
 }
@@ -80,6 +170,14 @@ uint64_t DcpiDriver::KernelMemoryBytesPerCpu() const {
                    config_.hash.associativity * 16;
   uint64_t buffers = 2ull * config_.overflow_entries * 16;
   return table + buffers;
+}
+
+std::vector<SampleKey> DcpiDriver::Trace() const {
+  std::vector<SampleKey> all;
+  for (const PerCpu& cpu : per_cpu_) {
+    all.insert(all.end(), cpu.trace.begin(), cpu.trace.end());
+  }
+  return all;
 }
 
 }  // namespace dcpi

@@ -6,6 +6,26 @@
 // and a full buffer is handed to the daemon while the other buffer takes
 // appends (the paper's double-buffering with IPI-synchronized flushes).
 //
+// Concurrency model (the property Section 4.2 claims and this class now
+// enforces): the interrupt handler runs only on the CPU that owns the
+// per-CPU slot, so `DeliverSample(cpu_id, ...)` must be called only from
+// the host thread simulating `cpu_id`, and the hot path takes no lock.
+// Buffer handoff to the daemon is a lock-free ownership protocol over a
+// per-buffer atomic state:
+//
+//   kProducer --publish--> kPublished --drain--> kFree --claim--> kProducer
+//
+// The producer publishes a buffer with a release store after writing its
+// records and count; a drainer claims it with a CAS (acquire), copies the
+// records out (the daemon's copy-to-user-space path), and releases it back
+// with a release store of kFree. In `kInline` drain mode (single-threaded
+// simulation) the producer consumes its own published buffers immediately,
+// reproducing the original synchronous callback exactly. In `kConcurrent`
+// mode a daemon drain thread consumes them; if the daemon falls behind,
+// the producer spin-waits (host-level backpressure, invisible in simulated
+// time) instead of dropping records, so collection is lossless and the
+// merged profile is independent of host-thread interleaving.
+//
 // The handler's cost in simulated cycles comes from a calibrated cost
 // model: a fixed interrupt setup/teardown (the paper measures ~214 cycles
 // best-case) plus a body cost that is higher on a miss (eviction touches an
@@ -15,6 +35,7 @@
 #ifndef SRC_DRIVER_DRIVER_H_
 #define SRC_DRIVER_DRIVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +54,9 @@ struct DriverConfig {
   uint64_t intr_setup_cycles = 214;
   uint64_t hit_body_cycles = 216;    // total hit cost ~430 (Table 4 ballpark)
   uint64_t miss_body_cycles = 486;   // total miss cost ~700
+  // Extra cycles charged to the interrupted CPU when the handler services a
+  // daemon-requested (IPI-modeled) flush.
+  uint64_t ipi_flush_cycles = 330;
 
   // Trace recording for the Section 5.4 trace-driven hash simulation.
   bool record_trace = false;
@@ -45,6 +69,8 @@ struct DriverCpuStats {
   uint64_t hash_misses = 0;
   uint64_t handler_cycles = 0;
   uint64_t overflow_buffer_flushes = 0;
+  uint64_t flush_requests_serviced = 0;  // IPI-modeled flushes handled
+  uint64_t publish_waits = 0;            // publishes that waited on the daemon
 
   double MissRate() const {
     uint64_t total = hash_hits + hash_misses;
@@ -56,11 +82,18 @@ struct DriverCpuStats {
   }
 };
 
+// How published overflow buffers reach the overflow handler.
+enum class DrainMode {
+  kInline,      // producer consumes its own buffers (single-threaded sim)
+  kConcurrent,  // a separate drain thread calls DrainPublished()
+};
+
 class DcpiDriver : public SampleSink {
  public:
-  // `overflow_handler` receives full overflow buffers (the daemon's copy
+  // `overflow_handler` receives drained overflow buffers (the daemon's copy
   // path). It may be empty; records are then dropped on the floor like a
-  // daemon that has fallen behind.
+  // daemon that has fallen behind. In kConcurrent mode it is invoked from
+  // the drainer thread and must be thread-safe.
   using OverflowHandler =
       std::function<void(uint32_t cpu_id, const std::vector<SampleRecord>&)>;
 
@@ -70,17 +103,41 @@ class DcpiDriver : public SampleSink {
     overflow_handler_ = std::move(handler);
   }
 
+  // Switches buffer handoff between inline (synchronous) and concurrent
+  // draining. Must not be called while producers are delivering samples.
+  void SetDrainMode(DrainMode mode) { drain_mode_ = mode; }
+  DrainMode drain_mode() const { return drain_mode_; }
+
   // SampleSink: the interrupt handler. Returns the cycles charged to the
-  // interrupted CPU.
+  // interrupted CPU. Lock-free; call only from the thread simulating
+  // `cpu_id`.
   uint64_t DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
                          EventType event) override;
 
-  // The daemon's periodic full flush: drains each CPU's hash table and both
-  // overflow buffers through the overflow handler (models the IPI-flagged
-  // flush; the handler-side cost of the IPI is charged to the next
-  // interrupt on that CPU).
+  // Daemon side, any thread: flags every CPU for a flush (the paper's
+  // interprocessor interrupt). Each CPU's handler services the flag at its
+  // next sample delivery, draining its hash table into the overflow stream.
+  void RequestFlush();
+
+  // Producer side: immediately drains `cpu_id`'s hash table into the
+  // overflow stream and publishes the partially-filled active buffer. Must
+  // be called from the thread simulating `cpu_id` (or while quiescent).
+  // The simulated system calls this at deterministic simulated-time
+  // intervals so results do not depend on host scheduling.
+  void FlushCpu(uint32_t cpu_id);
+
+  // Drainer side: consumes every published buffer through the overflow
+  // handler. Returns the number of buffers consumed. Safe to call
+  // concurrently with DeliverSample (and with other drainers).
+  size_t DrainPublished();
+
+  // The daemon's final full flush: drains published buffers, then each
+  // CPU's hash table and residual overflow records through the overflow
+  // handler. Requires quiescence (no concurrent producers).
   void FlushAll();
 
+  // Stats are producer-written; read them only after the producer threads
+  // have quiesced (or from the producer thread itself).
   const DriverCpuStats& cpu_stats(uint32_t cpu_id) const { return per_cpu_[cpu_id].stats; }
   DriverCpuStats TotalStats() const;
   uint64_t total_samples() const;
@@ -88,23 +145,41 @@ class DcpiDriver : public SampleSink {
   // Non-pageable kernel memory, per CPU (hash table + two overflow buffers).
   uint64_t KernelMemoryBytesPerCpu() const;
 
-  // Recorded sample trace (all CPUs interleaved), if enabled.
-  const std::vector<SampleKey>& trace() const { return trace_; }
+  // Recorded sample trace (per-CPU streams concatenated in CPU order), if
+  // enabled. Quiescent-only.
+  std::vector<SampleKey> Trace() const;
 
  private:
-  struct PerCpu {
+  // Ownership states of one overflow buffer (see the protocol above).
+  enum BufState : uint8_t { kFree = 0, kProducer, kPublished, kDraining };
+
+  struct OverflowBuffer {
+    std::vector<SampleRecord> records;  // sized to capacity up front
+    size_t count = 0;                   // written by the current owner only
+    std::atomic<uint8_t> state{kFree};
+  };
+
+  // One cache-line-aligned slot per CPU so producers never share lines.
+  struct alignas(64) PerCpu {
     std::unique_ptr<SampleHashTable> table;
-    std::vector<SampleRecord> buffers[2];
-    int active_buffer = 0;
+    OverflowBuffer buffers[2];
+    int active_buffer = 0;  // producer-private
+    std::atomic<bool> flush_requested{false};
     DriverCpuStats stats;
+    std::vector<SampleKey> trace;
   };
 
   void AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const SampleRecord& record);
+  // Publishes the active buffer and claims the spare as the new active one.
+  void PublishActive(uint32_t cpu_id, PerCpu* cpu);
+  // Drains one CPU's published buffers. Returns buffers consumed.
+  size_t DrainCpuPublished(uint32_t cpu_id);
+  void ServiceFlush(uint32_t cpu_id, PerCpu* cpu);
 
   DriverConfig config_;
   std::vector<PerCpu> per_cpu_;
   OverflowHandler overflow_handler_;
-  std::vector<SampleKey> trace_;
+  DrainMode drain_mode_ = DrainMode::kInline;
 };
 
 }  // namespace dcpi

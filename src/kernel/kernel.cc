@@ -63,10 +63,13 @@ kbuf:   .space 256
 }  // namespace
 
 Kernel::Kernel(const KernelConfig& config) : config_(config) {
+  truth_shards_.reserve(config.num_cpus);
   for (uint32_t i = 0; i < config.num_cpus; ++i) {
+    truth_shards_.push_back(std::make_unique<GroundTruth>());
     cpus_.push_back(std::make_unique<Cpu>(i, config.cpu));
-    cpus_.back()->set_ground_truth(&ground_truth_);
+    cpus_.back()->set_ground_truth(truth_shards_.back().get());
   }
+  run_queues_.resize(config.num_cpus);
 
   Result<std::shared_ptr<ExecutableImage>> vmunix =
       Assemble("/vmunix", kVmunixBase, kVmunixSource);
@@ -74,11 +77,18 @@ Kernel::Kernel(const KernelConfig& config) : config_(config) {
   vmunix_ = vmunix.value();
   const PredecodedImage* predecoded = registry_.Register(vmunix.value());
   ground_truth_.AddImage(vmunix.value());
+  for (auto& shard : truth_shards_) shard->AddImage(vmunix.value());
 
-  kernel_proc_ = std::make_unique<Process>(0, "kernel", config_.seed * 977 + 13);
-  Status mapped = kernel_proc_->aspace().MapImage(predecoded);
-  assert(mapped.ok());
-  (void)mapped;
+  // Every CPU gets its own kernel context (pid 0) so the swtch/idle paths
+  // run concurrently without sharing registers or kernel data pages. CPU
+  // 0 keeps the historical page seed so single-CPU runs are bit-identical.
+  for (uint32_t i = 0; i < config.num_cpus; ++i) {
+    kernel_procs_.push_back(
+        std::make_unique<Process>(0, "kernel", config_.seed * 977 + 13 + i));
+    Status mapped = kernel_procs_.back()->aspace().MapImage(predecoded);
+    assert(mapped.ok());
+    (void)mapped;
+  }
   idle_entry_ = vmunix_->FindProcedureByName("idle_loop")->start;
   swtch_entry_ = vmunix_->FindProcedureByName("swtch")->start;
   loader_events_.push_back({LoaderEvent::Kind::kLoadImage, 0, vmunix_});
@@ -99,9 +109,13 @@ Result<Process*> Kernel::CreateProcess(
     const PredecodedImage* predecoded = registry_.Register(image);
     if (ground_truth_.FindImage(image.get()) == nullptr) {
       ground_truth_.AddImage(image);
+      for (auto& shard : truth_shards_) shard->AddImage(image);
     }
     DCPI_RETURN_IF_ERROR(process->aspace().MapImage(predecoded));
-    loader_events_.push_back({LoaderEvent::Kind::kLoadImage, pid, image});
+    {
+      std::lock_guard lock(loader_mu_);
+      loader_events_.push_back({LoaderEvent::Kind::kLoadImage, pid, image});
+    }
     if (const ProcedureSymbol* proc = image->FindProcedureByName(entry_proc)) {
       entry = proc->start;
     }
@@ -115,82 +129,104 @@ Result<Process*> Kernel::CreateProcess(
   regs.WriteInt(kStackReg, static_cast<int64_t>(kStackBase + kStackSize - 64));
   Process* raw = process.get();
   processes_.push_back(std::move(process));
-  ready_.push_back(raw);
+  run_queues_[(pid - 1) % run_queues_.size()].push_back(raw);
   return raw;
 }
 
 void Kernel::RunKernelProc(uint32_t cpu_index, uint64_t entry_pc) {
   Cpu& cpu = *cpus_[cpu_index];
   cpu.OnContextSwitch();
-  kernel_proc_->regs().pc = entry_pc;
+  Process& kernel_proc = *kernel_procs_[cpu_index];
+  kernel_proc.regs().pc = entry_pc;
   // Kernel routines end with `yield`; the cycle cap is a safety net.
-  RunResult result = cpu.Run(*kernel_proc_, 100'000);
+  RunResult result = cpu.Run(kernel_proc, 100'000);
   (void)result;
 }
 
-Process* Kernel::NextReady() {
-  if (ready_.empty()) return nullptr;
-  Process* process = ready_.front();
-  ready_.pop_front();
+Process* Kernel::NextReady(uint32_t cpu_index) {
+  std::deque<Process*>& queue = run_queues_[cpu_index];
+  if (queue.empty()) return nullptr;
+  Process* process = queue.front();
+  queue.pop_front();
   return process;
+}
+
+bool Kernel::RunOneStep(uint32_t cpu_index) {
+  Process* process = NextReady(cpu_index);
+  if (process == nullptr) return false;
+  Cpu* cpu = cpus_[cpu_index].get();
+
+  // Context-switch path runs in the kernel, then the process gets its
+  // quantum.
+  RunKernelProc(cpu_index, swtch_entry_);
+  cpu->OnContextSwitch();
+  process->set_state(ProcessState::kRunning);
+  RunResult result = cpu->Run(*process, config_.quantum_cycles);
+  process->AddCpuCycles(result.cycles_used);
+  process->AddInstructions(result.instructions);
+  switch (result.reason) {
+    case ExitReason::kHalted:
+      process->set_state(ProcessState::kDone);
+      {
+        std::lock_guard lock(loader_mu_);
+        loader_events_.push_back(
+            {LoaderEvent::Kind::kProcessExit, process->pid(), nullptr});
+      }
+      break;
+    case ExitReason::kBadPc:
+    case ExitReason::kBadMemory:
+      had_error_.store(true, std::memory_order_relaxed);
+      process->set_state(ProcessState::kDone);
+      {
+        std::lock_guard lock(loader_mu_);
+        loader_events_.push_back(
+            {LoaderEvent::Kind::kProcessExit, process->pid(), nullptr});
+      }
+      break;
+    case ExitReason::kQuantumExpired:
+    case ExitReason::kYielded:
+    case ExitReason::kInstructionLimit:
+      process->set_state(ProcessState::kReady);
+      run_queues_[cpu_index].push_back(process);
+      break;
+  }
+  return true;
+}
+
+bool Kernel::RunCpuShard(uint32_t cpu_index, uint64_t max_cycles) {
+  Cpu& cpu = *cpus_[cpu_index];
+  while (cpu.now() < max_cycles) {
+    if (!RunOneStep(cpu_index)) return true;
+  }
+  return run_queues_[cpu_index].empty();
 }
 
 void Kernel::Run(uint64_t max_cycles) {
   while (true) {
-    // Pick the least-advanced CPU still under budget (approximates
-    // concurrent execution with sequential simulation).
+    // Pick the least-advanced CPU still under budget with runnable work
+    // (approximates concurrent execution with sequential simulation).
     Cpu* cpu = nullptr;
-    for (auto& candidate : cpus_) {
+    for (uint32_t i = 0; i < cpus_.size(); ++i) {
+      Cpu* candidate = cpus_[i].get();
       if (candidate->now() >= max_cycles) continue;
-      if (cpu == nullptr || candidate->now() < cpu->now()) cpu = candidate.get();
+      if (run_queues_[i].empty()) continue;
+      if (cpu == nullptr || candidate->now() < cpu->now()) cpu = candidate;
     }
     if (cpu == nullptr) break;
-
-    Process* process = NextReady();
-    if (process == nullptr) {
-      bool any_left = false;
-      for (const auto& p : processes_) {
-        if (p->state() != ProcessState::kDone) any_left = true;
-      }
-      if (!any_left) break;
-      // Other CPUs hold the remaining work; idle this one.
-      RunKernelProc(cpu->cpu_id(), idle_entry_);
-      continue;
-    }
-
-    // Context-switch path runs in the kernel, then the process gets its
-    // quantum.
-    RunKernelProc(cpu->cpu_id(), swtch_entry_);
-    cpu->OnContextSwitch();
-    process->set_state(ProcessState::kRunning);
-    RunResult result = cpu->Run(*process, config_.quantum_cycles);
-    process->AddCpuCycles(result.cycles_used);
-    process->AddInstructions(result.instructions);
-    switch (result.reason) {
-      case ExitReason::kHalted:
-        process->set_state(ProcessState::kDone);
-        loader_events_.push_back({LoaderEvent::Kind::kProcessExit, process->pid(), nullptr});
-        break;
-      case ExitReason::kBadPc:
-      case ExitReason::kBadMemory:
-        had_error_ = true;
-        process->set_state(ProcessState::kDone);
-        loader_events_.push_back({LoaderEvent::Kind::kProcessExit, process->pid(), nullptr});
-        break;
-      case ExitReason::kQuantumExpired:
-      case ExitReason::kYielded:
-      case ExitReason::kInstructionLimit:
-        process->set_state(ProcessState::kReady);
-        ready_.push_back(process);
-        break;
-    }
+    RunOneStep(cpu->cpu_id());
   }
 }
 
 std::vector<LoaderEvent> Kernel::DrainLoaderEvents() {
+  std::lock_guard lock(loader_mu_);
   std::vector<LoaderEvent> events;
   events.swap(loader_events_);
   return events;
+}
+
+GroundTruth& Kernel::ground_truth() {
+  for (auto& shard : truth_shards_) shard->DrainInto(&ground_truth_);
+  return ground_truth_;
 }
 
 uint64_t Kernel::ElapsedCycles() const {

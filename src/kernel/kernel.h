@@ -9,13 +9,26 @@
 //     kernel time is profiled exactly like user code (Figure 1 lists
 //     /vmunix rows);
 //   * PID management and process reaping.
+//
+// Multiprocessor model: scheduling state is sharded per CPU. Each process
+// is pinned to the run queue of one CPU at creation (round-robin by PID),
+// every CPU has its own kernel context (pid 0) for the swtch/idle paths,
+// and each CPU records into its own ground-truth shard. RunCpuShard() may
+// therefore be called concurrently from one host thread per CPU: the only
+// cross-CPU state is the loader-event queue (mutex, cold path) and the
+// process-error flag (atomic). Run() drives the same per-CPU shards
+// sequentially, interleaving CPUs by least-advanced simulated clock, and
+// is bit-identical to the historical single-threaded scheduler for
+// num_cpus == 1.
 
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,19 +59,29 @@ class Kernel {
   void SetMonitor(uint32_t cpu_index, PerfMonitor* monitor);
 
   // Creates a process mapping `images` (plus a stack), with the initial PC
-  // at procedure `entry_proc` (searched across the images).
+  // at procedure `entry_proc` (searched across the images). The process is
+  // pinned to a CPU run queue round-robin. Not thread-safe; create all
+  // processes before running.
   Result<Process*> CreateProcess(const std::string& name,
                                  std::vector<std::shared_ptr<ExecutableImage>> images,
                                  const std::string& entry_proc);
 
-  // Runs until every process is done or every CPU reaches `max_cycles`.
+  // Runs every CPU's shard sequentially (deterministic least-advanced-CPU
+  // interleaving) until all work is done or every CPU reaches `max_cycles`.
   void Run(uint64_t max_cycles = ~0ull);
+
+  // Runs one CPU's shard until it has no runnable process or the CPU clock
+  // reaches `max_cycles`. Returns true once the shard is fully done.
+  // Safe to call concurrently for distinct `cpu_index` values.
+  bool RunCpuShard(uint32_t cpu_index, uint64_t max_cycles = ~0ull);
 
   std::vector<LoaderEvent> DrainLoaderEvents();
 
   Cpu& cpu(uint32_t index) { return *cpus_[index]; }
   uint32_t num_cpus() const { return static_cast<uint32_t>(cpus_.size()); }
-  GroundTruth& ground_truth() { return ground_truth_; }
+  // Merged machine-wide ground truth: folds the per-CPU recorder shards in
+  // before returning. Call only while no CPU shard is running.
+  GroundTruth& ground_truth();
   const std::shared_ptr<const ExecutableImage>& vmunix() const { return vmunix_; }
   const std::vector<std::unique_ptr<Process>>& processes() const { return processes_; }
 
@@ -66,24 +89,29 @@ class Kernel {
   uint64_t ElapsedCycles() const;
 
   // True if any process terminated abnormally (bad PC / bad memory).
-  bool HadProcessError() const { return had_error_; }
+  bool HadProcessError() const { return had_error_.load(std::memory_order_relaxed); }
 
  private:
   void RunKernelProc(uint32_t cpu_index, uint64_t entry_pc);
-  Process* NextReady();
+  // One scheduling decision on `cpu_index` (swtch path + one quantum).
+  // Returns false if the CPU's run queue is empty.
+  bool RunOneStep(uint32_t cpu_index);
+  Process* NextReady(uint32_t cpu_index);
 
   KernelConfig config_;
   ImageRegistry registry_;
-  GroundTruth ground_truth_;
+  GroundTruth ground_truth_;  // merged view; CPUs record into shards
+  std::vector<std::unique_ptr<GroundTruth>> truth_shards_;  // one per CPU
   std::vector<std::unique_ptr<Cpu>> cpus_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::deque<Process*> ready_;
+  std::vector<std::deque<Process*>> run_queues_;  // one shard per CPU
+  std::mutex loader_mu_;
   std::vector<LoaderEvent> loader_events_;
   uint32_t next_pid_ = 1;
-  bool had_error_ = false;
+  std::atomic<bool> had_error_{false};
 
   std::shared_ptr<const ExecutableImage> vmunix_;
-  std::unique_ptr<Process> kernel_proc_;  // pid 0, maps vmunix
+  std::vector<std::unique_ptr<Process>> kernel_procs_;  // pid 0, per CPU
   uint64_t idle_entry_ = 0;
   uint64_t swtch_entry_ = 0;
 };

@@ -1,5 +1,10 @@
 #include "src/sim/system.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "src/support/rng.h"
+
 namespace dcpi {
 
 const char* ProfilingModeName(ProfilingMode mode) {
@@ -43,6 +48,7 @@ System::System(const SystemConfig& config) : config_(config) {
     driver_config.intr_setup_cycles = 0;
     driver_config.hit_body_cycles = 0;
     driver_config.miss_body_cycles = 0;
+    driver_config.ipi_flush_cycles = 0;
   }
   driver_ = std::make_unique<DcpiDriver>(config.kernel.num_cpus, driver_config);
   if (!config.db_root.empty()) {
@@ -50,7 +56,6 @@ System::System(const SystemConfig& config) : config_(config) {
   }
 
   PerfCountersConfig counters_config = CountersFor(config.mode);
-  counters_config.rng_seed = config.rng_seed;
   counters_config.double_sampling = config.double_sampling;
   if (config.period_scale != 1.0) {
     counters_config = counters_config.WithPeriodScale(config.period_scale);
@@ -58,6 +63,10 @@ System::System(const SystemConfig& config) : config_(config) {
 
   std::vector<double> mean_periods(kNumEventTypes, 0.0);
   for (uint32_t cpu = 0; cpu < config.kernel.num_cpus; ++cpu) {
+    // Each CPU seeds its period randomizer independently (decorrelated
+    // interrupts across CPUs, as on real hardware). CPU 0 keeps the plain
+    // seed so single-CPU runs are bit-identical to the historical path.
+    counters_config.rng_seed = config.rng_seed + cpu * 0x9e3779b1u;
     counters_.push_back(
         std::make_unique<PerfCounters>(cpu, counters_config, driver_.get()));
     kernel_->SetMonitor(cpu, counters_.back().get());
@@ -70,8 +79,7 @@ System::System(const SystemConfig& config) : config_(config) {
   daemon_ = std::make_unique<Daemon>(driver_.get(), database_.get(), mean_periods);
 }
 
-SystemResult System::Run(uint64_t max_cycles) {
-  SystemResult result;
+void System::RunSequential(uint64_t max_cycles) {
   uint64_t next_drain = config_.daemon_drain_interval;
   while (true) {
     uint64_t chunk_end = std::min(max_cycles, next_drain);
@@ -87,12 +95,45 @@ SystemResult System::Run(uint64_t max_cycles) {
     if (all_done || kernel_->ElapsedCycles() >= max_cycles) break;
     next_drain += config_.daemon_drain_interval;
   }
-  if (daemon_ != nullptr) {
-    daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
-    Status flushed = daemon_->FlushToDatabase();
-    (void)flushed;
-  }
+}
 
+void System::CpuWorker(uint32_t cpu, uint64_t max_cycles) {
+  SplitMix64 jitter(static_cast<uint64_t>(config_.host_jitter_seed) * 0x9e3779b9ull +
+                    cpu * 127ull + 1);
+  const bool use_jitter = config_.host_jitter_seed != 0;
+  uint64_t next_drain = config_.daemon_drain_interval;
+  while (true) {
+    uint64_t chunk_end = std::min(max_cycles, next_drain);
+    bool done = kernel_->RunCpuShard(cpu, chunk_end);
+    // The periodic flush is driven by this CPU's own simulated clock, not
+    // by the drain thread's host clock, so what the daemon sees — and the
+    // hash table's hit/miss (and therefore timing) behaviour — does not
+    // depend on host scheduling.
+    if (driver_ != nullptr) driver_->FlushCpu(cpu);
+    if (use_jitter && (jitter.Next() & 1) != 0) std::this_thread::yield();
+    if (done || kernel_->cpu(cpu).now() >= max_cycles) break;
+    next_drain += config_.daemon_drain_interval;
+  }
+}
+
+void System::RunThreaded(uint64_t max_cycles) {
+  if (daemon_ != nullptr) {
+    // Load maps first: every image mapping was emitted at process-creation
+    // time, so samples drained concurrently can always be attributed.
+    daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+    daemon_->StartDrainThread();
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kernel_->num_cpus());
+  for (uint32_t cpu = 0; cpu < kernel_->num_cpus(); ++cpu) {
+    workers.emplace_back([this, cpu, max_cycles] { CpuWorker(cpu, max_cycles); });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (daemon_ != nullptr) daemon_->StopDrainThread();
+}
+
+SystemResult System::BuildResult() {
+  SystemResult result;
   result.elapsed_cycles = kernel_->ElapsedCycles();
   result.had_error = kernel_->HadProcessError();
   for (uint32_t cpu = 0; cpu < kernel_->num_cpus(); ++cpu) {
@@ -110,6 +151,21 @@ SystemResult System::Run(uint64_t max_cycles) {
   result.busy_cycles_with_daemon =
       result.elapsed_cycles + result.daemon.daemon_cycles / kernel_->num_cpus();
   return result;
+}
+
+SystemResult System::Run(uint64_t max_cycles) {
+  const bool threaded = config_.threaded_collection && config_.kernel.num_cpus > 1;
+  if (threaded) {
+    RunThreaded(max_cycles);
+  } else {
+    RunSequential(max_cycles);
+  }
+  if (daemon_ != nullptr) {
+    daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+    Status flushed = daemon_->FlushToDatabase();
+    (void)flushed;
+  }
+  return BuildResult();
 }
 
 }  // namespace dcpi

@@ -6,6 +6,16 @@
 //   cycles  - CYCLES counter only
 //   default - CYCLES + IMISS
 //   mux     - CYCLES + one counter multiplexing IMISS/DMISS/BRANCHMP
+//
+// Multiprocessor runs (num_cpus > 1) use one host thread per simulated
+// CPU: each thread advances its CPU and workload shard and delivers
+// samples into its own driver slot with no locking, while a daemon drain
+// thread concurrently consumes published overflow buffers (Section 4.2's
+// synchronization-free collection path, made real). Periodic driver
+// flushes happen at deterministic *simulated* times on the owning thread,
+// so the merged profile — and every simulated result — is independent of
+// host-thread interleaving. Single-CPU runs take the historical
+// single-threaded path and are bit-identical to it.
 
 #ifndef SRC_SIM_SYSTEM_H_
 #define SRC_SIM_SYSTEM_H_
@@ -46,6 +56,13 @@ struct SystemConfig {
   // Drain the driver every this many simulated cycles (the paper's daemon
   // wakes every 5 minutes; scaled down to simulation length).
   uint64_t daemon_drain_interval = 20'000'000;
+  // One host thread per simulated CPU when num_cpus > 1 (plus a concurrent
+  // daemon drain thread). Set false to force the sequential scheduler.
+  bool threaded_collection = true;
+  // Test hook: nonzero seeds pseudo-random std::this_thread::yield() calls
+  // in the per-CPU worker threads to perturb host interleaving, so the
+  // determinism tests can vary thread schedules between runs.
+  uint32_t host_jitter_seed = 0;
 };
 
 struct SystemResult {
@@ -82,6 +99,13 @@ class System {
   SystemResult Run(uint64_t max_cycles = ~0ull);
 
  private:
+  void RunSequential(uint64_t max_cycles);
+  void RunThreaded(uint64_t max_cycles);
+  // Per-CPU worker body: advance the CPU's shard in drain-interval chunks,
+  // flushing the driver's per-CPU slot at deterministic simulated times.
+  void CpuWorker(uint32_t cpu, uint64_t max_cycles);
+  SystemResult BuildResult();
+
   SystemConfig config_;
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<DcpiDriver> driver_;

@@ -17,7 +17,10 @@ namespace {
 class DbTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = "/tmp/dcpi_db_test";
+    // Unique per-test directory: the cases run concurrently under ctest -j
+    // and must not collide in SetUp/TearDown remove_all.
+    root_ = std::string("/tmp/dcpi_db_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(root_);
   }
   void TearDown() override { std::filesystem::remove_all(root_); }
