@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the multiprocessor collection path.
+# Sanitizer gate for the multiprocessor collection path and the
+# crash-safety fault-injection tests.
 #
 # Builds two extra configurations and runs the test suite under each:
 #   build-tsan  - ThreadSanitizer: the lock-free driver handoff, the daemon
 #                 drain thread, and the per-CPU worker threads must be
 #                 data-race-free (the paper's "no synchronization needed"
 #                 claim, enforced).
-#   build-asan  - AddressSanitizer + UndefinedBehaviorSanitizer.
+#   build-asan  - AddressSanitizer + UndefinedBehaviorSanitizer: the full
+#                 suite, including the profile-database crash/corruption
+#                 tests (ProfileDbCrash*, DeserializeAdversarial*), so the
+#                 fault-injection and corrupt-input paths run sanitized.
 #
 # New/rewritten targets build with -Werror (wired in the CMakeLists); any
 # warning in them fails the build and therefore this script.
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only] [--fast]
-#   --fast runs only the concurrency-relevant tests under TSan (the full
-#   suite under TSan is slow on small hosts).
+#   --fast runs only the concurrency-relevant tests under TSan and the
+#   crash/corruption/durability tests under ASan (the full suites are slow
+#   on small hosts).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,7 +62,11 @@ if [[ "$RUN_TSAN" == 1 ]]; then
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
-  run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" ""
+  ASAN_FILTER=""
+  if [[ "$FAST" == 1 ]]; then
+    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo"
+  fi
+  run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" "$ASAN_FILTER"
 fi
 
 echo "=== all sanitizer configurations passed ==="

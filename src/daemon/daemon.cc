@@ -116,10 +116,26 @@ Status Daemon::FlushToDatabase() {
   if (driver_ != nullptr) driver_->FlushAll();
   if (database_ == nullptr) return Status::Ok();
   std::lock_guard lock(profiles_mu_);
+  size_t failures = 0;
+  std::string first_error;
   for (const auto& [key, slot] : profiles_) {
     if (slot->profile.distinct_offsets() == 0) continue;
-    DCPI_RETURN_IF_ERROR(database_->WriteProfile(slot->profile));
+    Status written = database_->WriteProfile(slot->profile);
+    if (!written.ok()) {
+      db_write_retries_.fetch_add(1, std::memory_order_relaxed);
+      written = database_->WriteProfile(slot->profile);
+    }
+    if (!written.ok()) {
+      db_write_failures_.fetch_add(1, std::memory_order_relaxed);
+      ++failures;
+      if (first_error.empty()) first_error = written.message();
+      continue;
+    }
     db_merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (failures > 0) {
+    return IoError(std::to_string(failures) +
+                   " profile write(s) failed after retry; first: " + first_error);
   }
   return Status::Ok();
 }
@@ -156,6 +172,8 @@ DaemonStats Daemon::stats() const {
   snapshot.samples_unknown = samples_unknown_.load(std::memory_order_relaxed);
   snapshot.daemon_cycles = daemon_cycles_.load(std::memory_order_relaxed);
   snapshot.db_merges = db_merges_.load(std::memory_order_relaxed);
+  snapshot.db_write_retries = db_write_retries_.load(std::memory_order_relaxed);
+  snapshot.db_write_failures = db_write_failures_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -56,6 +56,8 @@ struct DaemonStats {
   uint64_t samples_unknown = 0;
   uint64_t daemon_cycles = 0;       // modelled CPU time consumed by the daemon
   uint64_t db_merges = 0;
+  uint64_t db_write_retries = 0;    // failed profile writes retried
+  uint64_t db_write_failures = 0;   // profiles whose retry also failed
 };
 
 class Daemon {
@@ -80,7 +82,10 @@ class Daemon {
   void StopDrainThread();
   bool drain_thread_running() const { return drain_thread_.joinable(); }
 
-  // Flushes driver state and merges all in-memory profiles to disk.
+  // Flushes driver state and merges all in-memory profiles to disk. A
+  // failed profile write is retried once; if the retry also fails the
+  // flush continues with the remaining profiles and returns an error
+  // naming the failure count, so a bad disk never silently drops samples.
   Status FlushToDatabase();
 
   // In-memory profile access (what the analysis tools read before a flush;
@@ -136,6 +141,8 @@ class Daemon {
   std::atomic<uint64_t> samples_unknown_{0};
   std::atomic<uint64_t> daemon_cycles_{0};
   std::atomic<uint64_t> db_merges_{0};
+  std::atomic<uint64_t> db_write_retries_{0};
+  std::atomic<uint64_t> db_write_failures_{0};
 
   std::thread drain_thread_;
   std::atomic<bool> drain_stop_{false};

@@ -3,23 +3,64 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <filesystem>
 
 #include "src/support/binary_io.h"
+#include "src/support/crc32.h"
 
 namespace dcpi {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x44435049;  // "DCPI"
-constexpr uint8_t kVersion = 2;          // 2 = varint delta format
+constexpr uint8_t kVersionFixedWidth = 1;
+constexpr uint8_t kVersionVarint = 2;
+constexpr uint8_t kVersionChecksummed = 3;  // varint body + CRC32 trailer
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Header + varint-encoded count records, shared by versions 2 and 3.
+void AppendVarintProfile(const ImageProfile& profile, uint8_t version,
+                         ByteWriter* writer) {
+  writer->PutU32(kMagic);
+  writer->PutU8(version);
+  writer->PutString(profile.image_name());
+  writer->PutU8(static_cast<uint8_t>(profile.event()));
+  uint64_t period_bits;
+  double period = profile.mean_period();
+  std::memcpy(&period_bits, &period, sizeof(period_bits));
+  writer->PutU64(period_bits);
+  writer->PutVarint(profile.counts().size());
+  uint64_t prev_offset = 0;
+  for (const auto& [offset, count] : profile.counts()) {
+    writer->PutVarint(offset - prev_offset);  // ordered map: deltas are small
+    writer->PutVarint(count);
+    prev_offset = offset;
+  }
+}
 
 }  // namespace
 
 void ImageProfile::Merge(const ImageProfile& other) {
+  if (mean_period_ == 0) {
+    mean_period_ = other.mean_period_;
+  } else if (other.mean_period_ != 0 && other.mean_period_ != mean_period_) {
+    // Sample-weighted mean of the two periods, so samples-to-cycles scaling
+    // stays correct when mux-mode runs with different periods merge.
+    double self_weight = static_cast<double>(total_samples());
+    double other_weight = static_cast<double>(other.total_samples());
+    if (self_weight + other_weight > 0) {
+      mean_period_ = (mean_period_ * self_weight + other.mean_period_ * other_weight) /
+                     (self_weight + other_weight);
+    }
+  }
   for (const auto& [offset, count] : other.counts_) counts_[offset] += count;
-  if (mean_period_ == 0) mean_period_ = other.mean_period_;
 }
 
 uint64_t ImageProfile::total_samples() const {
@@ -30,28 +71,21 @@ uint64_t ImageProfile::total_samples() const {
 
 std::vector<uint8_t> SerializeProfile(const ImageProfile& profile) {
   ByteWriter writer;
-  writer.PutU32(kMagic);
-  writer.PutU8(kVersion);
-  writer.PutString(profile.image_name());
-  writer.PutU8(static_cast<uint8_t>(profile.event()));
-  uint64_t period_bits;
-  double period = profile.mean_period();
-  std::memcpy(&period_bits, &period, sizeof(period_bits));
-  writer.PutU64(period_bits);
-  writer.PutVarint(profile.counts().size());
-  uint64_t prev_offset = 0;
-  for (const auto& [offset, count] : profile.counts()) {
-    writer.PutVarint(offset - prev_offset);  // ordered map: deltas are small
-    writer.PutVarint(count);
-    prev_offset = offset;
-  }
+  AppendVarintProfile(profile, kVersionChecksummed, &writer);
+  writer.PutU32(Crc32(writer.bytes()));
+  return writer.bytes();
+}
+
+std::vector<uint8_t> SerializeProfileV2(const ImageProfile& profile) {
+  ByteWriter writer;
+  AppendVarintProfile(profile, kVersionVarint, &writer);
   return writer.bytes();
 }
 
 std::vector<uint8_t> SerializeProfileFixedWidth(const ImageProfile& profile) {
   ByteWriter writer;
   writer.PutU32(kMagic);
-  writer.PutU8(1);  // version 1: fixed-width records
+  writer.PutU8(kVersionFixedWidth);
   writer.PutString(profile.image_name());
   writer.PutU8(static_cast<uint8_t>(profile.event()));
   uint64_t period_bits;
@@ -67,13 +101,33 @@ std::vector<uint8_t> SerializeProfileFixedWidth(const ImageProfile& profile) {
 }
 
 Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
-  ByteReader reader(bytes);
+  // Magic (4) + version (1) is the minimum for any version.
+  if (bytes.size() < 5) return IoError("truncated profile");
+  uint8_t version = bytes[4];
+
+  size_t payload_size = bytes.size();
+  if (version == kVersionChecksummed) {
+    if (bytes.size() < 5 + 4) return IoError("truncated profile");
+    payload_size = bytes.size() - 4;
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<uint32_t>(bytes[payload_size + i]) << (8 * i);
+    }
+    if (Crc32(bytes.data(), payload_size) != stored) {
+      return IoError("profile checksum mismatch");
+    }
+  }
+
+  ByteReader reader(bytes.data(), payload_size);
   uint32_t magic = 0;
   DCPI_RETURN_IF_ERROR(reader.GetU32(&magic));
   if (magic != kMagic) return IoError("bad profile magic");
-  uint8_t version = 0;
-  DCPI_RETURN_IF_ERROR(reader.GetU8(&version));
-  if (version != kVersion && version != 1) return IoError("unsupported profile version");
+  uint8_t version_byte = 0;
+  DCPI_RETURN_IF_ERROR(reader.GetU8(&version_byte));
+  if (version_byte != kVersionFixedWidth && version_byte != kVersionVarint &&
+      version_byte != kVersionChecksummed) {
+    return IoError("unsupported profile version");
+  }
   std::string image_name;
   DCPI_RETURN_IF_ERROR(reader.GetString(&image_name));
   uint8_t event = 0;
@@ -85,9 +139,14 @@ Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
   std::memcpy(&period, &period_bits, sizeof(period));
 
   ImageProfile profile(image_name, static_cast<EventType>(event), period);
-  if (version == kVersion) {
+  if (version_byte != kVersionFixedWidth) {
     uint64_t entries = 0;
     DCPI_RETURN_IF_ERROR(reader.GetVarint(&entries));
+    // Each entry is at least two varint bytes: an inflated count in a
+    // corrupt file cannot pass this bound.
+    if (entries > (payload_size - reader.position()) / 2) {
+      return IoError("profile entry count exceeds file size");
+    }
     uint64_t offset = 0;
     for (uint64_t i = 0; i < entries; ++i) {
       uint64_t delta = 0, count = 0;
@@ -99,6 +158,9 @@ Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
   } else {
     uint64_t entries = 0;
     DCPI_RETURN_IF_ERROR(reader.GetU64(&entries));
+    if (entries > (payload_size - reader.position()) / 16) {
+      return IoError("profile entry count exceeds file size");
+    }
     for (uint64_t i = 0; i < entries; ++i) {
       uint64_t offset = 0, count = 0;
       DCPI_RETURN_IF_ERROR(reader.GetU64(&offset));
@@ -106,12 +168,83 @@ Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
       profile.AddSamples(offset, count);
     }
   }
+  if (!reader.AtEnd()) return IoError("trailing bytes in profile");
   return profile;
+}
+
+std::string ScanReport::ToString() const {
+  return "profile db scan: " + std::to_string(epochs_found) + " epoch(s), " +
+         std::to_string(files_checked) + " file(s) checked, " +
+         std::to_string(files_recovered) + " recovered, " +
+         std::to_string(files_quarantined) + " quarantined, next epoch " +
+         std::to_string(next_epoch);
 }
 
 ProfileDatabase::ProfileDatabase(std::string root_dir) : root_(std::move(root_dir)) {
   std::error_code ec;
   std::filesystem::create_directories(root_, ec);
+  scan_report_ = ScanAndRecover();
+  next_epoch_ = scan_report_.next_epoch;
+}
+
+ScanReport ProfileDatabase::ScanAndRecover() const {
+  ScanReport report;
+  bool any_epoch = false;
+  uint32_t max_epoch = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator root_it(root_, ec);
+  if (ec) return report;
+  for (const auto& epoch_entry : root_it) {
+    if (!epoch_entry.is_directory()) continue;
+    std::string dir_name = epoch_entry.path().filename().string();
+    if (dir_name.rfind("epoch_", 0) != 0 || dir_name.size() == 6) continue;
+    uint32_t epoch = 0;
+    bool numeric = true;
+    for (size_t i = 6; i < dir_name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(dir_name[i]))) {
+        numeric = false;
+        break;
+      }
+      epoch = epoch * 10 + static_cast<uint32_t>(dir_name[i] - '0');
+    }
+    if (!numeric) continue;
+    any_epoch = true;
+    max_epoch = std::max(max_epoch, epoch);
+    ++report.epochs_found;
+
+    std::error_code dir_ec;
+    std::filesystem::directory_iterator files(epoch_entry.path(), dir_ec);
+    if (dir_ec) continue;
+    for (const auto& file : files) {
+      if (!file.is_regular_file()) continue;
+      std::string file_name = file.path().filename().string();
+      auto quarantine = [&] {
+        std::error_code q_ec;
+        std::filesystem::path q_dir = epoch_entry.path() / ".quarantine";
+        std::filesystem::create_directories(q_dir, q_ec);
+        std::filesystem::rename(file.path(), q_dir / file_name, q_ec);
+        if (q_ec) std::filesystem::remove(file.path(), q_ec);
+        ++report.files_quarantined;
+      };
+      if (EndsWith(file_name, ".tmp")) {
+        // In-flight write from an interrupted flush: even if complete, the
+        // rename never committed it, so it cannot be trusted.
+        quarantine();
+        continue;
+      }
+      if (!EndsWith(file_name, ".prof")) continue;
+      ++report.files_checked;
+      std::vector<uint8_t> bytes;
+      if (ReadFile(file.path().string(), &bytes).ok() &&
+          DeserializeProfile(bytes).ok()) {
+        ++report.files_recovered;
+      } else {
+        quarantine();
+      }
+    }
+  }
+  report.next_epoch = any_epoch ? max_epoch + 1 : 0;
+  return report;
 }
 
 std::string ProfileDatabase::EpochDir(uint32_t epoch) const {
@@ -121,12 +254,27 @@ std::string ProfileDatabase::EpochDir(uint32_t epoch) const {
 std::string ProfileDatabase::ProfileFileName(const std::string& image_name,
                                              EventType event) {
   std::string sanitized;
+  for (char c : image_name) {
+    if (c == '_') {
+      sanitized += "__";
+    } else if (c == '/') {
+      sanitized += "_s";
+    } else {
+      sanitized += c;
+    }
+  }
+  return sanitized + "__" + EventTypeName(event) + ".prof";
+}
+
+std::string ProfileDatabase::LegacyProfileFileName(const std::string& image_name,
+                                                   EventType event) {
+  std::string sanitized;
   for (char c : image_name) sanitized += (c == '/' ? '_' : c);
   return sanitized + "__" + EventTypeName(event) + ".prof";
 }
 
 Result<uint32_t> ProfileDatabase::NewEpoch() {
-  uint32_t epoch = have_epoch_ ? current_epoch_ + 1 : 0;
+  uint32_t epoch = have_epoch_ ? current_epoch_ + 1 : next_epoch_;
   std::error_code ec;
   std::filesystem::create_directories(EpochDir(epoch), ec);
   if (ec) return IoError("cannot create epoch dir: " + ec.message());
@@ -140,15 +288,32 @@ Status ProfileDatabase::WriteProfile(const ImageProfile& profile) {
     Result<uint32_t> epoch = NewEpoch();
     if (!epoch.ok()) return epoch.status();
   }
-  std::string path = EpochDir(current_epoch_) + "/" +
-                     ProfileFileName(profile.image_name(), profile.event());
+  std::string dir = EpochDir(current_epoch_);
+  std::string path = dir + "/" + ProfileFileName(profile.image_name(), profile.event());
   ImageProfile merged = profile;
   std::vector<uint8_t> existing;
-  if (ReadFile(path, &existing).ok()) {
+  bool have_existing = ReadFile(path, &existing).ok();
+  std::string merged_legacy;
+  if (!have_existing) {
+    std::string legacy =
+        dir + "/" + LegacyProfileFileName(profile.image_name(), profile.event());
+    if (legacy != path && ReadFile(legacy, &existing).ok()) {
+      have_existing = true;
+      merged_legacy = legacy;
+    }
+  }
+  if (have_existing) {
     Result<ImageProfile> prior = DeserializeProfile(existing);
     if (prior.ok()) merged.Merge(prior.value());
   }
-  return WriteFile(path, SerializeProfile(merged));
+  DCPI_RETURN_IF_ERROR(WriteFileAtomic(path, SerializeProfile(merged)));
+  // The legacy-named file is folded into the new-named one; drop it so the
+  // image's samples live in exactly one file.
+  if (!merged_legacy.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(merged_legacy, ec);
+  }
+  return Status::Ok();
 }
 
 Result<ImageProfile> ProfileDatabase::ReadProfile(uint32_t epoch,
@@ -156,7 +321,11 @@ Result<ImageProfile> ProfileDatabase::ReadProfile(uint32_t epoch,
                                                   EventType event) const {
   std::string path = EpochDir(epoch) + "/" + ProfileFileName(image_name, event);
   std::vector<uint8_t> bytes;
-  DCPI_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  Status read = ReadFile(path, &bytes);
+  if (!read.ok()) {
+    std::string legacy = EpochDir(epoch) + "/" + LegacyProfileFileName(image_name, event);
+    if (legacy == path || !ReadFile(legacy, &bytes).ok()) return read;
+  }
   return DeserializeProfile(bytes);
 }
 
@@ -166,7 +335,9 @@ Result<std::vector<std::string>> ProfileDatabase::ListProfiles(uint32_t epoch) c
   std::filesystem::directory_iterator it(EpochDir(epoch), ec);
   if (ec) return IoError("cannot list epoch: " + ec.message());
   for (const auto& entry : it) {
-    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (EndsWith(name, ".prof")) names.push_back(name);
   }
   return names;
 }

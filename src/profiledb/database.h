@@ -5,6 +5,14 @@
 // profiles are typically an order of magnitude smaller than their images
 // (most instructions never execute); this is the paper's "improved format"
 // with ~3x compression over fixed-width records.
+//
+// Durability: profile files are written with WriteFileAtomic (temp + fsync
+// + rename), and the current format (version 3) carries a CRC32 trailer.
+// Opening a database scans the existing epoch_* directories, validates
+// every profile file, quarantines corrupt or in-flight files to
+// epoch_<N>/.quarantine/, and resumes epoch numbering at max + 1 so a new
+// run never merges into a previous run's epochs. The scan's outcome is
+// exposed as a ScanReport.
 
 #ifndef SRC_PROFILEDB_DATABASE_H_
 #define SRC_PROFILEDB_DATABASE_H_
@@ -18,42 +26,77 @@
 
 namespace dcpi {
 
-// Serialization (exposed for tests and size experiments).
+// Serialization (exposed for tests and size experiments). SerializeProfile
+// emits the current version-3 format: varint body + CRC32 trailer.
+// DeserializeProfile verifies the checksum, rejects trailing bytes, and
+// still reads version 1 and 2 files.
 std::vector<uint8_t> SerializeProfile(const ImageProfile& profile);
 Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes);
 
-// Fixed-width (non-delta, non-varint) encoding: the paper's original format
-// baseline, used by the compression comparison bench.
+// Legacy version-2 encoding (varint body, no checksum), kept for the
+// back-compat tests and the v2-vs-v3 size comparison bench.
+std::vector<uint8_t> SerializeProfileV2(const ImageProfile& profile);
+
+// Fixed-width (non-delta, non-varint) version-1 encoding: the paper's
+// original format baseline, used by the compression comparison bench.
 std::vector<uint8_t> SerializeProfileFixedWidth(const ImageProfile& profile);
+
+// Outcome of the recovery scan a ProfileDatabase runs on open.
+struct ScanReport {
+  uint32_t epochs_found = 0;
+  uint32_t next_epoch = 0;         // where the next NewEpoch/write lands
+  uint64_t files_checked = 0;      // .prof files validated
+  uint64_t files_recovered = 0;    // valid profiles retained
+  uint64_t files_quarantined = 0;  // corrupt or in-flight files set aside
+
+  // "profile db scan: 2 epoch(s), 5 file(s) checked, 4 recovered,
+  //  1 quarantined, next epoch 2"
+  std::string ToString() const;
+};
 
 class ProfileDatabase {
  public:
+  // Opens (creating if needed) the database at `root_dir` and runs the
+  // recovery scan; see scan_report() for what it found.
   explicit ProfileDatabase(std::string root_dir);
 
   // Starts a new epoch (creates the directory); returns its index.
   Result<uint32_t> NewEpoch();
   uint32_t current_epoch() const { return current_epoch_; }
 
-  // Merges `profile` into the on-disk file for the current epoch.
+  // Merges `profile` into the on-disk file for the current epoch. The write
+  // is atomic: on any failure the previous file contents remain intact.
   Status WriteProfile(const ImageProfile& profile);
 
   Result<ImageProfile> ReadProfile(uint32_t epoch, const std::string& image_name,
                                    EventType event) const;
 
-  // All (image, event) files in an epoch.
+  // All (image, event) profile files in an epoch (quarantined and in-flight
+  // files excluded).
   Result<std::vector<std::string>> ListProfiles(uint32_t epoch) const;
 
   uint64_t DiskUsageBytes() const;
 
   const std::string& root() const { return root_; }
+  const ScanReport& scan_report() const { return scan_report_; }
 
+  // File name for an (image, event) pair. '_' escapes to "__" and '/' to
+  // "_s", so distinct image names never collide ("a/b" vs "a_b").
   static std::string ProfileFileName(const std::string& image_name, EventType event);
+
+  // The pre-escaping name ('/' replaced by '_'); reads fall back to it so
+  // databases written before the escaping change stay readable.
+  static std::string LegacyProfileFileName(const std::string& image_name,
+                                           EventType event);
 
  private:
   std::string EpochDir(uint32_t epoch) const;
+  ScanReport ScanAndRecover() const;
 
   std::string root_;
+  ScanReport scan_report_;
   uint32_t current_epoch_ = 0;
+  uint32_t next_epoch_ = 0;  // first epoch a fresh write lands in
   bool have_epoch_ = false;
 };
 

@@ -160,12 +160,14 @@ SystemResult System::Run(uint64_t max_cycles) {
   } else {
     RunSequential(max_cycles);
   }
+  Status flushed = Status::Ok();
   if (daemon_ != nullptr) {
     daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
-    Status flushed = daemon_->FlushToDatabase();
-    (void)flushed;
+    flushed = daemon_->FlushToDatabase();
   }
-  return BuildResult();
+  SystemResult result = BuildResult();
+  result.had_error = result.had_error || !flushed.ok();
+  return result;
 }
 
 }  // namespace dcpi

@@ -6,6 +6,7 @@
 #ifndef SRC_SUPPORT_BINARY_IO_H_
 #define SRC_SUPPORT_BINARY_IO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -87,6 +88,9 @@ class ByteReader {
     for (int shift = 0; shift < 64; shift += 7) {
       if (pos_ >= size_) return TruncatedError();
       uint8_t byte = data_[pos_++];
+      // The 10th byte holds only bit 63: higher payload bits would be
+      // silently dropped by the shift, so reject them.
+      if (shift == 63 && (byte & 0x7e) != 0) return IoError("varint overflow");
       v |= static_cast<uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) {
         *out = v;
@@ -99,7 +103,9 @@ class ByteReader {
   Status GetString(std::string* out) {
     uint64_t len = 0;
     DCPI_RETURN_IF_ERROR(GetVarint(&len));
-    if (pos_ + len > size_) return TruncatedError();
+    // `pos_ + len` can wrap for a garbage length field; compare against the
+    // remaining byte count instead.
+    if (len > size_ - pos_) return TruncatedError();
     out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return Status::Ok();
@@ -117,8 +123,66 @@ class ByteReader {
 };
 
 // Whole-file helpers.
+//
+// ReadFile refuses files larger than `max_bytes` so a corrupt or hostile
+// file cannot drive a multi-GB resize; profile files are at most a few MB.
+inline constexpr size_t kMaxReadFileBytes = size_t{256} << 20;
+
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
-Status ReadFile(const std::string& path, std::vector<uint8_t>* bytes);
+Status ReadFile(const std::string& path, std::vector<uint8_t>* bytes,
+                size_t max_bytes = kMaxReadFileBytes);
+
+// Crash-safe whole-file write: the bytes go to `path + ".tmp"`, are fsynced,
+// and are renamed over `path` only once durable (the directory is fsynced
+// after the rename). Readers therefore see either the old contents or the
+// new contents, never a prefix. A leftover "*.tmp" file marks an
+// interrupted write and must not be trusted.
+Status WriteFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes);
+
+// ---- Fault injection (tests only) ----
+//
+// The crash-safety tests arm a FaultInjectingEnv to make the Nth
+// WriteFileAtomic call fail at a chosen point in the protocol, simulating
+// I/O errors and process death mid-flush.
+
+enum class WriteFault {
+  kNone = 0,
+  kFailWrite,          // clean failure: error returned, no temp left behind
+  kTruncatedTemp,      // crash mid-write: a half-written temp file survives
+  kCrashBeforeRename,  // crash after the temp is durable but before rename
+};
+
+class FaultInjectingEnv {
+ public:
+  // Arms the injector: WriteFileAtomic calls [nth, nth + count) (1-based,
+  // counted from this call) fail with `fault`.
+  void FailNthWrite(int nth, WriteFault fault, int count = 1) {
+    fault_ = fault;
+    first_ = nth;
+    last_ = nth + count - 1;
+    write_index_.store(0, std::memory_order_relaxed);
+  }
+
+  int writes_attempted() const {
+    return write_index_.load(std::memory_order_relaxed);
+  }
+
+  // Called once per WriteFileAtomic; returns the fault for this write.
+  WriteFault OnWrite() {
+    int index = write_index_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return (index >= first_ && index <= last_) ? fault_ : WriteFault::kNone;
+  }
+
+ private:
+  WriteFault fault_ = WriteFault::kNone;
+  int first_ = 0;
+  int last_ = -1;
+  std::atomic<int> write_index_{0};
+};
+
+// Installs `env` as the process-wide injector consulted by WriteFileAtomic
+// (nullptr disarms). Returns the previously installed injector.
+FaultInjectingEnv* SetFaultInjectingEnv(FaultInjectingEnv* env);
 
 }  // namespace dcpi
 

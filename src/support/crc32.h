@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used as the
+// integrity trailer on version-3 profile files. Table-driven, one pass.
+
+#ifndef SRC_SUPPORT_CRC32_H_
+#define SRC_SUPPORT_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcpi {
+
+// Checksum of `size` bytes. Pass a previous return value as `crc` to
+// checksum data incrementally; start from 0.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc = 0);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_CRC32_H_

@@ -41,6 +41,10 @@ int main(int argc, char** argv) {
   }
 
   ProfileDatabase db(argv[1]);
+  const ScanReport& scan = db.scan_report();
+  if (scan.files_checked > 0 || scan.files_quarantined > 0) {
+    std::fprintf(stderr, "%s\n", scan.ToString().c_str());
+  }
   std::vector<std::shared_ptr<ExecutableImage>> images;
   for (const std::string& path : image_paths) {
     Result<std::shared_ptr<ExecutableImage>> image = LoadImage(path);

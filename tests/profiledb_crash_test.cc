@@ -1,0 +1,371 @@
+// Crash-safety and corruption tests for the profile database (Section 4.3.3
+// durability): fault injection at every point of the atomic write protocol,
+// CRC-based corruption quarantine on reopen, epoch-numbering recovery, the
+// daemon's retry-then-report flush path, and adversarial deserialization
+// inputs (truncation at every byte boundary, trailing garbage, bad event
+// ids, varint overflow).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/daemon/daemon.h"
+#include "src/profiledb/database.h"
+#include "src/support/binary_io.h"
+#include "src/support/crc32.h"
+
+namespace dcpi {
+namespace {
+
+class ProfileDbCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::string("/tmp/dcpi_crash_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override {
+    SetFaultInjectingEnv(nullptr);
+    std::filesystem::remove_all(root_);
+  }
+  std::string root_;
+};
+
+ImageProfile MakeProfile(const std::string& name, uint64_t samples_at_zero) {
+  ImageProfile profile(name, EventType::kCycles, 62000.0);
+  profile.AddSamples(0, samples_at_zero);
+  return profile;
+}
+
+uint64_t SamplesOrZero(const ProfileDatabase& db, uint32_t epoch,
+                       const std::string& image) {
+  Result<ImageProfile> profile = db.ReadProfile(epoch, image, EventType::kCycles);
+  return profile.ok() ? profile.value().SamplesAt(0) : 0;
+}
+
+// The acceptance property: for every injected fault point, reopening the
+// database succeeds, quarantines at most the in-flight file, and each
+// image's total is either its pre-flush or its post-flush value — never a
+// partial or corrupt state.
+TEST_F(ProfileDbCrashTest, EveryFaultPointLeavesEpochConsistent) {
+  const WriteFault kFaults[] = {WriteFault::kFailWrite, WriteFault::kTruncatedTemp,
+                                WriteFault::kCrashBeforeRename};
+  for (WriteFault fault : kFaults) {
+    for (int nth = 1; nth <= 2; ++nth) {
+      SCOPED_TRACE("fault=" + std::to_string(static_cast<int>(fault)) +
+                   " nth=" + std::to_string(nth));
+      std::filesystem::remove_all(root_);
+      {
+        ProfileDatabase db(root_);
+        // Flush 1: the pre-flush state (a=5, b=7 in epoch 0).
+        ASSERT_TRUE(db.WriteProfile(MakeProfile("a", 5)).ok());
+        ASSERT_TRUE(db.WriteProfile(MakeProfile("b", 7)).ok());
+        // Flush 2 with a fault injected at write `nth`: at most one of the
+        // two writes fails, and the failure is reported, not swallowed.
+        FaultInjectingEnv env;
+        env.FailNthWrite(nth, fault);
+        SetFaultInjectingEnv(&env);
+        Status wrote_a = db.WriteProfile(MakeProfile("a", 3));
+        Status wrote_b = db.WriteProfile(MakeProfile("b", 4));
+        SetFaultInjectingEnv(nullptr);
+        EXPECT_NE(wrote_a.ok(), nth == 1);
+        EXPECT_NE(wrote_b.ok(), nth == 2);
+      }
+      // Simulated crash: reopen from disk alone.
+      ProfileDatabase db(root_);
+      const ScanReport& report = db.scan_report();
+      EXPECT_LE(report.files_quarantined, 1u);
+      EXPECT_EQ(report.next_epoch, 1u);
+      uint64_t a = SamplesOrZero(db, 0, "a");
+      uint64_t b = SamplesOrZero(db, 0, "b");
+      EXPECT_TRUE(a == 5 || a == 8) << "a=" << a;
+      EXPECT_TRUE(b == 7 || b == 11) << "b=" << b;
+      // The write that was not faulted must have committed.
+      if (nth == 1) {
+        EXPECT_EQ(b, 11u);
+      } else {
+        EXPECT_EQ(a, 8u);
+      }
+    }
+  }
+}
+
+TEST_F(ProfileDbCrashTest, CorruptFileIsQuarantinedOnReopen) {
+  std::string path;
+  {
+    ProfileDatabase db(root_);
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("a", 5)).ok());
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("b", 7)).ok());
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("c", 9)).ok());
+    path = db.root() + "/epoch_0/" +
+           ProfileDatabase::ProfileFileName("b", EventType::kCycles);
+  }
+  // Flip a byte mid-file (bit rot / torn sector): the CRC must catch it.
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0xff;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+
+  ProfileDatabase db(root_);
+  const ScanReport& report = db.scan_report();
+  EXPECT_EQ(report.files_checked, 3u);
+  EXPECT_EQ(report.files_recovered, 2u);
+  EXPECT_EQ(report.files_quarantined, 1u);
+  EXPECT_FALSE(db.ReadProfile(0, "b", EventType::kCycles).ok());
+  EXPECT_EQ(SamplesOrZero(db, 0, "a"), 5u);
+  EXPECT_EQ(SamplesOrZero(db, 0, "c"), 9u);
+  // The corrupt file is preserved for post-mortem, not deleted.
+  EXPECT_TRUE(std::filesystem::exists(
+      root_ + "/epoch_0/.quarantine/" +
+      ProfileDatabase::ProfileFileName("b", EventType::kCycles)));
+  // Listings no longer include it.
+  Result<std::vector<std::string>> files = db.ListProfiles(0);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files.value().size(), 2u);
+}
+
+TEST_F(ProfileDbCrashTest, TruncatedOnDiskFileIsQuarantined) {
+  std::string path;
+  {
+    ProfileDatabase db(root_);
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("a", 5)).ok());
+    path = db.root() + "/epoch_0/" +
+           ProfileDatabase::ProfileFileName("a", EventType::kCycles);
+  }
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes).ok());
+  bytes.resize(bytes.size() / 2);
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+
+  ProfileDatabase db(root_);
+  EXPECT_EQ(db.scan_report().files_quarantined, 1u);
+  EXPECT_EQ(db.scan_report().files_recovered, 0u);
+}
+
+// Regression for the epoch-numbering bug: reopening a populated root used
+// to restart at epoch 0 and silently merge into the previous run.
+TEST_F(ProfileDbCrashTest, ReopenResumesAtNextEpoch) {
+  {
+    ProfileDatabase db(root_);
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("a", 5)).ok());
+    ASSERT_TRUE(db.NewEpoch().ok());
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("a", 7)).ok());
+  }
+  ProfileDatabase db(root_);
+  EXPECT_EQ(db.scan_report().epochs_found, 2u);
+  EXPECT_EQ(db.scan_report().next_epoch, 2u);
+  ASSERT_TRUE(db.WriteProfile(MakeProfile("a", 11)).ok());
+  EXPECT_EQ(db.current_epoch(), 2u);
+  // The previous run's epochs are untouched: no cross-run merge.
+  EXPECT_EQ(SamplesOrZero(db, 0, "a"), 5u);
+  EXPECT_EQ(SamplesOrZero(db, 1, "a"), 7u);
+  EXPECT_EQ(SamplesOrZero(db, 2, "a"), 11u);
+  EXPECT_EQ(db.NewEpoch().value(), 3u);
+}
+
+TEST_F(ProfileDbCrashTest, InterruptedFlushDoesNotAdvanceEpochNumbering) {
+  {
+    ProfileDatabase db(root_);
+    FaultInjectingEnv env;
+    env.FailNthWrite(1, WriteFault::kTruncatedTemp);
+    SetFaultInjectingEnv(&env);
+    EXPECT_FALSE(db.WriteProfile(MakeProfile("a", 5)).ok());
+    SetFaultInjectingEnv(nullptr);
+  }
+  // Only a tmp file exists in epoch 0; it is quarantined and the epoch dir
+  // still counts, so the next run writes to epoch 1.
+  ProfileDatabase db(root_);
+  EXPECT_EQ(db.scan_report().files_quarantined, 1u);
+  EXPECT_EQ(db.scan_report().next_epoch, 1u);
+}
+
+// ---- Daemon flush error plumbing ----
+
+// Feeds the daemon samples that resolve to the synthetic "unknown" image
+// (no load maps needed), one profile per event type.
+void FeedUnknownSamples(Daemon* daemon, EventType event, uint64_t count) {
+  std::vector<SampleRecord> records;
+  records.push_back({{1, 0x1000, event}, count});
+  daemon->ProcessBuffer(0, records);
+}
+
+TEST_F(ProfileDbCrashTest, DaemonFlushRetriesFailedWriteOnce) {
+  ProfileDatabase db(root_);
+  Daemon daemon(nullptr, &db);
+  FeedUnknownSamples(&daemon, EventType::kCycles, 10);
+
+  FaultInjectingEnv env;
+  env.FailNthWrite(1, WriteFault::kFailWrite);  // first attempt fails, retry succeeds
+  SetFaultInjectingEnv(&env);
+  Status flushed = daemon.FlushToDatabase();
+  SetFaultInjectingEnv(nullptr);
+
+  EXPECT_TRUE(flushed.ok()) << flushed.ToString();
+  EXPECT_EQ(daemon.stats().db_write_retries, 1u);
+  EXPECT_EQ(daemon.stats().db_write_failures, 0u);
+  EXPECT_EQ(SamplesOrZero(db, 0, "unknown"), 10u);
+}
+
+TEST_F(ProfileDbCrashTest, DaemonFlushReportsPersistentFailureAndContinues) {
+  ProfileDatabase db(root_);
+  Daemon daemon(nullptr, &db);
+  FeedUnknownSamples(&daemon, EventType::kCycles, 10);
+  FeedUnknownSamples(&daemon, EventType::kImiss, 20);
+
+  FaultInjectingEnv env;
+  // Writes 1 and 2 are the first profile's attempt + retry: both fail. The
+  // second profile (write 3) must still be flushed.
+  env.FailNthWrite(1, WriteFault::kFailWrite, /*count=*/2);
+  SetFaultInjectingEnv(&env);
+  Status flushed = daemon.FlushToDatabase();
+  SetFaultInjectingEnv(nullptr);
+
+  EXPECT_FALSE(flushed.ok());
+  EXPECT_NE(flushed.message().find("1 profile write(s) failed"), std::string::npos)
+      << flushed.ToString();
+  EXPECT_EQ(daemon.stats().db_write_failures, 1u);
+  EXPECT_EQ(daemon.stats().db_merges, 1u);
+  Result<ImageProfile> imiss = db.ReadProfile(0, "unknown", EventType::kImiss);
+  ASSERT_TRUE(imiss.ok());
+  EXPECT_EQ(imiss.value().SamplesAt(0), 20u);
+}
+
+// ---- Legacy compatibility ----
+
+TEST_F(ProfileDbCrashTest, LegacyFileNamesAndFormatsStayReadable) {
+  // A database written before this change: v2 bytes under the old
+  // '/'-to-'_' file name.
+  ImageProfile old_profile("a/b", EventType::kCycles, 1000.0);
+  old_profile.AddSamples(0, 5);
+  old_profile.AddSamples(8, 2);
+  std::filesystem::create_directories(root_ + "/epoch_0");
+  std::string legacy_path =
+      root_ + "/epoch_0/" +
+      ProfileDatabase::LegacyProfileFileName("a/b", EventType::kCycles);
+  ASSERT_TRUE(WriteFile(legacy_path, SerializeProfileV2(old_profile)).ok());
+
+  ProfileDatabase db(root_);
+  EXPECT_EQ(db.scan_report().files_recovered, 1u);
+  EXPECT_EQ(db.scan_report().files_quarantined, 0u);
+  Result<ImageProfile> read = db.ReadProfile(0, "a/b", EventType::kCycles);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().SamplesAt(0), 5u);
+  EXPECT_EQ(read.value().SamplesAt(8), 2u);
+}
+
+TEST_F(ProfileDbCrashTest, WriteMergesLegacyNamedFileInCurrentEpoch) {
+  ProfileDatabase db(root_);
+  ASSERT_TRUE(db.NewEpoch().ok());
+  // A legacy-named v2 file appears in the epoch the daemon is writing to
+  // (a database upgraded mid-run); the next write must fold it in rather
+  // than splitting the image's samples across two files.
+  ImageProfile old_profile("a/b", EventType::kCycles, 1000.0);
+  old_profile.AddSamples(0, 5);
+  ASSERT_TRUE(WriteFile(root_ + "/epoch_0/" +
+                            ProfileDatabase::LegacyProfileFileName(
+                                "a/b", EventType::kCycles),
+                        SerializeProfileV2(old_profile)).ok());
+
+  ImageProfile update("a/b", EventType::kCycles, 1000.0);
+  update.AddSamples(0, 3);
+  ASSERT_TRUE(db.WriteProfile(update).ok());
+  EXPECT_EQ(SamplesOrZero(db, 0, "a/b"), 8u);
+}
+
+// ---- Adversarial deserialization ----
+
+ImageProfile SampleRichProfile() {
+  ImageProfile profile("libadversarial.so", EventType::kImiss, 4096.0);
+  for (uint64_t off = 0; off < 64; off += 4) profile.AddSamples(off, 100 + off);
+  return profile;
+}
+
+TEST(DeserializeAdversarial, TruncationAtEveryByteBoundaryIsAnError) {
+  std::vector<uint8_t> bytes = SerializeProfile(SampleRichProfile());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    Result<ImageProfile> result = DeserializeProfile(prefix);
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes parsed";
+  }
+  EXPECT_TRUE(DeserializeProfile(bytes).ok());
+}
+
+TEST(DeserializeAdversarial, LegacyTruncationIsAnErrorNotAPartialProfile) {
+  // v2 has no checksum, so truncation must be caught structurally; a
+  // truncated file must never come back as a success with fewer counts.
+  std::vector<uint8_t> bytes = SerializeProfileV2(SampleRichProfile());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DeserializeProfile(prefix).ok()) << "prefix of " << len;
+  }
+  EXPECT_TRUE(DeserializeProfile(bytes).ok());
+}
+
+TEST(DeserializeAdversarial, TrailingGarbageIsAnError) {
+  for (std::vector<uint8_t> bytes :
+       {SerializeProfile(SampleRichProfile()),
+        SerializeProfileV2(SampleRichProfile()),
+        SerializeProfileFixedWidth(SampleRichProfile())}) {
+    bytes.push_back(0x00);
+    EXPECT_FALSE(DeserializeProfile(bytes).ok());
+  }
+}
+
+TEST(DeserializeAdversarial, BadEventIdIsAnError) {
+  ByteWriter writer;
+  writer.PutU32(0x44435049);
+  writer.PutU8(2);
+  writer.PutString("img");
+  writer.PutU8(250);  // not a valid EventType
+  writer.PutU64(0);
+  writer.PutVarint(0);
+  EXPECT_FALSE(DeserializeProfile(writer.bytes()).ok());
+}
+
+TEST(DeserializeAdversarial, VarintOverflowIsAnError) {
+  // A 10-byte varint whose final byte carries bits beyond bit 63, in the
+  // entry-count position of a v2 profile.
+  ByteWriter writer;
+  writer.PutU32(0x44435049);
+  writer.PutU8(2);
+  writer.PutString("img");
+  writer.PutU8(0);
+  writer.PutU64(0);
+  for (int i = 0; i < 9; ++i) writer.PutU8(0xff);
+  writer.PutU8(0x7f);  // bits 63..69 set: overflow
+  EXPECT_FALSE(DeserializeProfile(writer.bytes()).ok());
+}
+
+TEST(DeserializeAdversarial, InflatedEntryCountIsRejectedWithoutAllocating) {
+  // A garbage entry count far beyond what the file could hold must fail
+  // fast instead of looping or resizing gigabytes.
+  ByteWriter writer;
+  writer.PutU32(0x44435049);
+  writer.PutU8(2);
+  writer.PutString("img");
+  writer.PutU8(0);
+  writer.PutU64(0);
+  writer.PutVarint(uint64_t{1} << 60);
+  EXPECT_FALSE(DeserializeProfile(writer.bytes()).ok());
+
+  ByteWriter fixed;
+  fixed.PutU32(0x44435049);
+  fixed.PutU8(1);
+  fixed.PutString("img");
+  fixed.PutU8(0);
+  fixed.PutU64(0);
+  fixed.PutU64(uint64_t{1} << 60);
+  EXPECT_FALSE(DeserializeProfile(fixed.bytes()).ok());
+}
+
+TEST(DeserializeAdversarial, EmptyAndTinyInputsAreErrors) {
+  EXPECT_FALSE(DeserializeProfile({}).ok());
+  EXPECT_FALSE(DeserializeProfile({0x49}).ok());
+  EXPECT_FALSE(DeserializeProfile({0x49, 0x50, 0x43, 0x44}).ok());  // magic only
+}
+
+}  // namespace
+}  // namespace dcpi

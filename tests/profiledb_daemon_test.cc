@@ -87,9 +87,67 @@ TEST_F(DbTest, EpochsAreSeparate) {
   EXPECT_GT(db.DiskUsageBytes(), 0u);
 }
 
-TEST_F(DbTest, FileNamesSanitizeSlashes) {
+TEST_F(DbTest, FileNamesEscapeSlashesAndUnderscores) {
   EXPECT_EQ(ProfileDatabase::ProfileFileName("/usr/shlib/libm.so", EventType::kCycles),
+            "_susr_sshlib_slibm.so__cycles.prof");
+  EXPECT_EQ(ProfileDatabase::LegacyProfileFileName("/usr/shlib/libm.so",
+                                                   EventType::kCycles),
             "_usr_shlib_libm.so__cycles.prof");
+  // The old '/'-to-'_' sanitizer mapped "a/b" and "a_b" to the same file;
+  // the escaping scheme must keep them distinct.
+  EXPECT_NE(ProfileDatabase::ProfileFileName("a/b", EventType::kCycles),
+            ProfileDatabase::ProfileFileName("a_b", EventType::kCycles));
+  EXPECT_NE(ProfileDatabase::ProfileFileName("a_sb", EventType::kCycles),
+            ProfileDatabase::ProfileFileName("a/b", EventType::kCycles));
+}
+
+TEST_F(DbTest, DistinctImagesNeverShareAFile) {
+  ProfileDatabase db(root_);
+  ImageProfile slash("a/b", EventType::kCycles, 1000);
+  slash.AddSamples(0, 5);
+  ImageProfile underscore("a_b", EventType::kCycles, 1000);
+  underscore.AddSamples(0, 9);
+  ASSERT_TRUE(db.WriteProfile(slash).ok());
+  ASSERT_TRUE(db.WriteProfile(underscore).ok());
+  EXPECT_EQ(db.ReadProfile(0, "a/b", EventType::kCycles).value().SamplesAt(0), 5u);
+  EXPECT_EQ(db.ReadProfile(0, "a_b", EventType::kCycles).value().SamplesAt(0), 9u);
+}
+
+TEST_F(DbTest, MergeWeightsMeanPeriodBySamples) {
+  // Mux-mode merges can carry different periods; the merged period must be
+  // the sample-weighted mean so samples-to-cycles scaling stays correct.
+  ImageProfile a("img", EventType::kCycles, 1000);
+  a.AddSamples(0, 10);
+  ImageProfile b("img", EventType::kCycles, 4000);
+  b.AddSamples(4, 30);
+  a.Merge(b);
+  EXPECT_NEAR(a.mean_period(), (1000.0 * 10 + 4000.0 * 30) / 40, 1e-9);
+  EXPECT_EQ(a.SamplesAt(0), 10u);
+  EXPECT_EQ(a.SamplesAt(4), 30u);
+
+  // A zero period still defers to the other side's.
+  ImageProfile c("img", EventType::kCycles, 0);
+  c.AddSamples(0, 1);
+  c.Merge(b);
+  EXPECT_EQ(c.mean_period(), 4000.0);
+}
+
+TEST_F(DbTest, ReopeningPopulatedRootResumesEpochNumbering) {
+  {
+    ProfileDatabase db(root_);
+    ImageProfile a("img", EventType::kCycles, 1000);
+    a.AddSamples(0, 5);
+    ASSERT_TRUE(db.WriteProfile(a).ok());
+  }
+  ProfileDatabase db(root_);
+  EXPECT_EQ(db.scan_report().next_epoch, 1u);
+  ImageProfile b("img", EventType::kCycles, 1000);
+  b.AddSamples(0, 3);
+  ASSERT_TRUE(db.WriteProfile(b).ok());
+  // The second run's samples land in a fresh epoch, not merged into the
+  // first run's epoch 0.
+  EXPECT_EQ(db.ReadProfile(0, "img", EventType::kCycles).value().SamplesAt(0), 5u);
+  EXPECT_EQ(db.ReadProfile(1, "img", EventType::kCycles).value().SamplesAt(0), 3u);
 }
 
 TEST_F(DbTest, ReadMissingProfileFails) {

@@ -1,11 +1,15 @@
 // Support library tests: status/result, RNG properties, binary I/O
-// round trips (property test), statistics, histograms, text tables.
+// round trips (property test), CRC32, atomic file writes, statistics,
+// histograms, text tables.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 
 #include "src/support/binary_io.h"
+#include "src/support/crc32.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
 #include "src/support/status.h"
@@ -97,9 +101,9 @@ TEST(BinaryIo, MixedFieldsRoundTrip) {
   writer.PutU64(0x0123456789abcdefull);
   writer.PutString("hello profile");
   ByteReader reader(writer.bytes());
-  uint8_t u8;
-  uint32_t u32;
-  uint64_t u64;
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
   std::string s;
   ASSERT_TRUE(reader.GetU8(&u8).ok());
   ASSERT_TRUE(reader.GetU32(&u32).ok());
@@ -123,6 +127,117 @@ TEST(BinaryIo, TruncationIsAnError) {
   ByteReader reader2(writer2.bytes());
   std::string s;
   EXPECT_FALSE(reader2.GetString(&s).ok());
+}
+
+TEST(BinaryIo, VarintOverflowIsAnError) {
+  // UINT64_MAX is the largest legal varint (10 bytes, final byte 0x01).
+  ByteWriter writer;
+  writer.PutVarint(~uint64_t{0});
+  ByteReader reader(writer.bytes());
+  uint64_t v = 0;
+  ASSERT_TRUE(reader.GetVarint(&v).ok());
+  EXPECT_EQ(v, ~uint64_t{0});
+
+  // A 10th byte carrying bits beyond bit 63 would silently drop them.
+  std::vector<uint8_t> overflow(9, 0xff);
+  overflow.push_back(0x02);
+  ByteReader bad(overflow);
+  EXPECT_FALSE(bad.GetVarint(&v).ok());
+
+  // An 11-byte varint never terminates within 64 bits.
+  std::vector<uint8_t> long_varint(10, 0x80);
+  long_varint.push_back(0x01);
+  ByteReader too_long(long_varint);
+  EXPECT_FALSE(too_long.GetVarint(&v).ok());
+}
+
+TEST(BinaryIo, HugeStringLengthIsAnErrorNotAWrapAround) {
+  // Length prefix of UINT64_MAX: pos + len wraps; the reader must reject
+  // it instead of reading out of bounds.
+  ByteWriter writer;
+  writer.PutVarint(~uint64_t{0});
+  writer.PutU8('x');
+  ByteReader reader(writer.bytes());
+  std::string s;
+  EXPECT_FALSE(reader.GetString(&s).ok());
+}
+
+TEST(Crc32, KnownVectorsAndSensitivity) {
+  // The classic CRC-32 check value.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits, sizeof(digits)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  // Incremental == one-shot.
+  EXPECT_EQ(Crc32(digits + 4, 5, Crc32(digits, 4)), 0xCBF43926u);
+  // Any single-bit flip changes the checksum.
+  std::vector<uint8_t> bytes(digits, digits + sizeof(digits));
+  uint32_t reference = Crc32(bytes);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0x10;
+    EXPECT_NE(Crc32(bytes), reference);
+    bytes[i] ^= 0x10;
+  }
+}
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("/tmp/dcpi_support_test_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    SetFaultInjectingEnv(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(AtomicWriteTest, RoundTripAndReplace) {
+  std::string path = dir_ + "/file.bin";
+  std::vector<uint8_t> first = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFileAtomic(path, first).ok());
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(ReadFile(path, &read).ok());
+  EXPECT_EQ(read, first);
+  // No temp residue after a completed write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  std::vector<uint8_t> second = {9, 8};
+  ASSERT_TRUE(WriteFileAtomic(path, second).ok());
+  ASSERT_TRUE(ReadFile(path, &read).ok());
+  EXPECT_EQ(read, second);
+}
+
+TEST_F(AtomicWriteTest, FaultsPreserveTheOldContents) {
+  std::string path = dir_ + "/file.bin";
+  std::vector<uint8_t> original = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(WriteFileAtomic(path, original).ok());
+
+  FaultInjectingEnv env;
+  for (WriteFault fault : {WriteFault::kFailWrite, WriteFault::kTruncatedTemp,
+                           WriteFault::kCrashBeforeRename}) {
+    env.FailNthWrite(1, fault);
+    SetFaultInjectingEnv(&env);
+    std::vector<uint8_t> replacement = {42, 42, 42, 42};
+    EXPECT_FALSE(WriteFileAtomic(path, replacement).ok());
+    SetFaultInjectingEnv(nullptr);
+    std::vector<uint8_t> read;
+    ASSERT_TRUE(ReadFile(path, &read).ok());
+    EXPECT_EQ(read, original);  // the visible file is never a partial state
+  }
+  // The crash faults leave an in-flight temp behind, as a real crash would.
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, ReadFileEnforcesSizeCap) {
+  std::string path = dir_ + "/big.bin";
+  ASSERT_TRUE(WriteFile(path, std::vector<uint8_t>(100, 7)).ok());
+  std::vector<uint8_t> read;
+  EXPECT_FALSE(ReadFile(path, &read, /*max_bytes=*/10).ok());
+  EXPECT_TRUE(ReadFile(path, &read, /*max_bytes=*/100).ok());
+  EXPECT_EQ(read.size(), 100u);
 }
 
 TEST(RunningStat, MomentsMatchDirectComputation) {
