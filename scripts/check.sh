@@ -15,10 +15,13 @@
 # New/rewritten targets build with -Werror (wired in the CMakeLists); any
 # warning in them fails the build and therefore this script.
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only] [--fast]
+# Usage: scripts/check.sh [--tsan-only|--asan-only] [--fast] [--lint]
 #   --fast runs only the concurrency-relevant tests under TSan and the
 #   crash/corruption/durability tests under ASan (the full suites are slow
 #   on small hosts).
+#   --lint additionally runs clang-tidy (config in .clang-tidy) over the
+#   compile-commands database. Skipped with a notice when clang-tidy is not
+#   installed, so the gate stays usable on minimal containers.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,14 +30,41 @@ JOBS=$(nproc)
 RUN_TSAN=1
 RUN_ASAN=1
 FAST=0
+LINT=0
 for arg in "$@"; do
   case "$arg" in
     --tsan-only) RUN_ASAN=0 ;;
     --asan-only) RUN_TSAN=0 ;;
     --fast) FAST=1 ;;
+    --lint) LINT=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+run_lint() {
+  local tidy
+  tidy=$(command -v clang-tidy || true)
+  if [[ -z "$tidy" ]]; then
+    echo "=== lint skipped: clang-tidy not installed ==="
+    return 0
+  fi
+  echo "=== configuring build-lint (compile-commands database) ==="
+  cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "=== running clang-tidy ==="
+  local failed=0
+  while IFS= read -r file; do
+    "$tidy" -p build-lint --quiet "$file" || failed=1
+  done < <(find src -name '*.cc' | sort)
+  if [[ "$failed" != 0 ]]; then
+    echo "=== lint failed ===" >&2
+    return 1
+  fi
+  echo "=== lint passed ==="
+}
+
+if [[ "$LINT" == 1 ]]; then
+  run_lint
+fi
 
 run_config() {
   local dir="$1" flags="$2" filter="$3"

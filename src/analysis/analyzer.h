@@ -14,6 +14,7 @@
 #include "src/analysis/cfg.h"
 #include "src/analysis/frequency.h"
 #include "src/analysis/static_schedule.h"
+#include "src/check/check.h"
 #include "src/profiledb/profile.h"
 
 namespace dcpi {
@@ -49,6 +50,12 @@ struct AnalysisConfig {
   // Dynamic stall below this (cycles per execution) is ignored.
   double min_dynamic_stall = 0.3;
   FrequencyTuning frequency;
+  // Run the src/check verification passes (CFG structure, differential
+  // cycle equivalence, flow conservation, schedule invariants) over the
+  // analysis and record the findings in ProcedureAnalysis::selfcheck_report.
+  // Honored by AnalyzeProcedureChecked (src/check/selfcheck.h), which the
+  // CLI tools call; plain AnalyzeProcedure ignores it.
+  bool selfcheck = false;
 };
 
 struct InstructionAnalysis {
@@ -107,6 +114,8 @@ struct ProcedureAnalysis {
   double actual_cpi = 0;
   double total_frequency = 0;  // sum of per-instruction frequencies
   StallSummary summary;
+  // Filled by AnalyzeProcedureChecked when AnalysisConfig::selfcheck is set.
+  CheckReport selfcheck_report;
 };
 
 // Analyzes one procedure. `cycles` is required; the event profiles may be

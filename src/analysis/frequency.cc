@@ -105,6 +105,23 @@ Confidence EstimateClassRatio(const FrequencyTuning& tuning, ClassData* cls) {
 
 }  // namespace
 
+EquivalenceGraph BuildEquivalenceGraph(const Cfg& cfg) {
+  const int num_blocks = static_cast<int>(cfg.blocks().size());
+  const int entry_vertex = 2 * num_blocks;
+  const int exit_vertex = 2 * num_blocks + 1;
+  EquivalenceGraph graph;
+  graph.num_vertices = 2 * num_blocks + 2;
+  graph.edges.reserve(num_blocks + cfg.edges().size() + 1);
+  for (int b = 0; b < num_blocks; ++b) graph.edges.push_back({2 * b, 2 * b + 1});
+  for (const CfgEdge& e : cfg.edges()) {
+    int u = e.from == kCfgEntry ? entry_vertex : 2 * e.from + 1;
+    int v = e.to == kCfgExit ? exit_vertex : 2 * e.to;
+    graph.edges.push_back({u, v});
+  }
+  graph.edges.push_back({exit_vertex, entry_vertex});
+  return graph;
+}
+
 FrequencyResult EstimateFrequencies(const Cfg& cfg,
                                     const std::vector<BlockSchedule>& schedules,
                                     const std::vector<uint64_t>& samples,
@@ -123,19 +140,8 @@ FrequencyResult EstimateFrequencies(const Cfg& cfg,
 
   // ---- Equivalence classes via the node-split graph ----
   if (!cfg.missing_edges()) {
-    // Vertices: block b -> (2b, 2b+1); entry = 2B; exit = 2B+1.
-    const int entry_vertex = 2 * num_blocks;
-    const int exit_vertex = 2 * num_blocks + 1;
-    std::vector<std::pair<int, int>> graph_edges;
-    graph_edges.reserve(num_blocks + num_edges + 1);
-    for (int b = 0; b < num_blocks; ++b) graph_edges.push_back({2 * b, 2 * b + 1});
-    for (const CfgEdge& e : cfg.edges()) {
-      int u = e.from == kCfgEntry ? entry_vertex : 2 * e.from + 1;
-      int v = e.to == kCfgExit ? exit_vertex : 2 * e.to;
-      graph_edges.push_back({u, v});
-    }
-    graph_edges.push_back({exit_vertex, entry_vertex});
-    std::vector<int> classes = CycleEquivalence(2 * num_blocks + 2, graph_edges);
+    EquivalenceGraph graph = BuildEquivalenceGraph(cfg);
+    std::vector<int> classes = CycleEquivalence(graph.num_vertices, graph.edges);
     for (int b = 0; b < num_blocks; ++b) result.block_class[b] = classes[b];
     for (int e = 0; e < num_edges; ++e) result.edge_class[e] = classes[num_blocks + e];
   } else {

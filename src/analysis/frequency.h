@@ -21,6 +21,7 @@
 #define SRC_ANALYSIS_FREQUENCY_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/cfg.h"
@@ -43,6 +44,18 @@ struct FrequencyTuning {
   // the ratio clustering.
   size_t min_nonleading_points = 2;
 };
+
+// The node-split equivalence graph of a CFG (step 1 above): block b becomes
+// vertex pair (2b, 2b+1) joined by a block edge, entry is vertex 2B, exit is
+// vertex 2B+1, and the graph is closed with an exit->entry edge. Edge order:
+// B block edges (edge k <-> block k), then the CFG edges in id order (edge
+// B+e <-> CFG edge e), then the closing edge last.
+struct EquivalenceGraph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+EquivalenceGraph BuildEquivalenceGraph(const Cfg& cfg);
 
 struct FrequencyResult {
   // Estimated execution counts over the profiled period.

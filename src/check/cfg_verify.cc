@@ -1,0 +1,323 @@
+#include "src/check/cfg_verify.h"
+
+#include <optional>
+#include <string>
+
+#include "src/isa/instruction.h"
+
+namespace dcpi {
+
+namespace {
+
+CheckViolation& AddCfgError(CheckReport* report, std::string message) {
+  return report->AddViolation(CheckPass::kCfgVerify, CheckSeverity::kError,
+                             std::move(message));
+}
+
+bool ValidFrom(int from, int num_blocks) {
+  return from == kCfgEntry || (from >= 0 && from < num_blocks);
+}
+
+bool ValidTo(int to, int num_blocks) {
+  return to == kCfgExit || (to >= 0 && to < num_blocks);
+}
+
+}  // namespace
+
+void VerifyCfgStructure(const std::vector<BasicBlock>& blocks,
+                        const std::vector<CfgEdge>& edges, uint64_t proc_start,
+                        uint64_t proc_end, CheckReport* report) {
+  const int num_blocks = static_cast<int>(blocks.size());
+  if (num_blocks == 0) {
+    AddCfgError(report, "CFG has no blocks");
+    return;
+  }
+
+  // Blocks partition [proc_start, proc_end).
+  if (blocks.front().start_pc != proc_start) {
+    AddCfgError(report, "first block does not start at the procedure start")
+        .block = 0;
+  }
+  if (blocks.back().end_pc != proc_end) {
+    AddCfgError(report, "last block does not end at the procedure end").block =
+        num_blocks - 1;
+  }
+  for (int b = 0; b < num_blocks; ++b) {
+    const BasicBlock& block = blocks[b];
+    if (block.id != b) {
+      AddCfgError(report, "block id " + std::to_string(block.id) +
+                              " does not match its index")
+          .block = b;
+    }
+    if (block.end_pc <= block.start_pc) {
+      AddCfgError(report, "block is empty or has inverted bounds").block = b;
+    }
+    if ((block.start_pc - proc_start) % kInstrBytes != 0 ||
+        (block.end_pc - proc_start) % kInstrBytes != 0) {
+      AddCfgError(report, "block bounds are not instruction-aligned").block = b;
+    }
+    if (b + 1 < num_blocks && block.end_pc != blocks[b + 1].start_pc) {
+      AddCfgError(report, "gap or overlap between block " + std::to_string(b) +
+                              " and block " + std::to_string(b + 1) +
+                              " (blocks must partition the procedure)")
+          .block = b;
+    }
+  }
+
+  // Edge endpoints and ids.
+  const int num_edges = static_cast<int>(edges.size());
+  bool endpoints_ok = true;
+  int entry_edges = 0;
+  int exit_edges = 0;
+  for (int e = 0; e < num_edges; ++e) {
+    const CfgEdge& edge = edges[e];
+    if (edge.id != e) {
+      AddCfgError(report, "edge id " + std::to_string(edge.id) +
+                              " does not match its index")
+          .edge = e;
+    }
+    if (!ValidFrom(edge.from, num_blocks)) {
+      AddCfgError(report, "edge source " + std::to_string(edge.from) +
+                              " is not entry or a valid block")
+          .edge = e;
+      endpoints_ok = false;
+    }
+    if (!ValidTo(edge.to, num_blocks)) {
+      AddCfgError(report, "edge target " + std::to_string(edge.to) +
+                              " is not exit or a valid block")
+          .edge = e;
+      endpoints_ok = false;
+    }
+    if (edge.from == kCfgEntry) ++entry_edges;
+    if (edge.to == kCfgExit) ++exit_edges;
+  }
+  if (entry_edges == 0) AddCfgError(report, "CFG has no entry edge");
+  if (exit_edges == 0) AddCfgError(report, "CFG has no exit edge");
+  if (!endpoints_ok) return;  // adjacency checks would chase bad indices
+
+  // Adjacency lists agree with the edge list.
+  std::vector<int> out_count(num_blocks, 0);
+  std::vector<int> in_count(num_blocks, 0);
+  for (const CfgEdge& edge : edges) {
+    if (edge.from >= 0) ++out_count[edge.from];
+    if (edge.to >= 0) ++in_count[edge.to];
+  }
+  std::vector<bool> seen(num_edges);
+  for (int b = 0; b < num_blocks; ++b) {
+    const BasicBlock& block = blocks[b];
+    seen.assign(num_edges, false);
+    for (int e : block.out_edges) {
+      if (e < 0 || e >= num_edges) {
+        AddCfgError(report, "out-edge list references nonexistent edge " +
+                                std::to_string(e))
+            .block = b;
+      } else if (seen[e]) {
+        AddCfgError(report, "out-edge list lists edge twice").block = b;
+      } else {
+        seen[e] = true;
+        if (edges[e].from != b) {
+          AddCfgError(report,
+                      "out-edge list claims an edge whose source is elsewhere")
+              .block = b;
+        }
+      }
+    }
+    if (static_cast<int>(block.out_edges.size()) != out_count[b]) {
+      AddCfgError(report, "out-edge list has " +
+                              std::to_string(block.out_edges.size()) +
+                              " entries but " + std::to_string(out_count[b]) +
+                              " edges leave this block")
+          .block = b;
+    }
+    if (block.out_edges.empty()) {
+      AddCfgError(report, "block has no successor (exit edges must make every "
+                          "block reach the virtual exit)")
+          .block = b;
+    }
+    seen.assign(num_edges, false);
+    for (int e : block.in_edges) {
+      if (e < 0 || e >= num_edges) {
+        AddCfgError(report, "in-edge list references nonexistent edge " +
+                                std::to_string(e))
+            .block = b;
+      } else if (seen[e]) {
+        AddCfgError(report, "in-edge list lists edge twice").block = b;
+      } else {
+        seen[e] = true;
+        if (edges[e].to != b) {
+          AddCfgError(report,
+                      "in-edge list claims an edge whose target is elsewhere")
+              .block = b;
+        }
+      }
+    }
+    if (static_cast<int>(block.in_edges.size()) != in_count[b]) {
+      AddCfgError(report, "in-edge list has " +
+                              std::to_string(block.in_edges.size()) +
+                              " entries but " + std::to_string(in_count[b]) +
+                              " edges enter this block")
+          .block = b;
+    }
+  }
+
+  // The entry must reach every block.
+  std::vector<bool> reachable(num_blocks, false);
+  std::vector<int> worklist;
+  for (const CfgEdge& edge : edges) {
+    if (edge.from == kCfgEntry && edge.to >= 0 && !reachable[edge.to]) {
+      reachable[edge.to] = true;
+      worklist.push_back(edge.to);
+    }
+  }
+  while (!worklist.empty()) {
+    int b = worklist.back();
+    worklist.pop_back();
+    for (int e : blocks[b].out_edges) {
+      int to = edges[e].to;
+      if (to >= 0 && !reachable[to]) {
+        reachable[to] = true;
+        worklist.push_back(to);
+      }
+    }
+  }
+  for (int b = 0; b < num_blocks; ++b) {
+    if (!reachable[b]) {
+      // Dead code is legal (the builder makes blocks for every byte of the
+      // procedure), so unlike the other structural checks this is only a
+      // warning; image lint reports the same blocks with pc provenance.
+      report->AddViolation(CheckPass::kCfgVerify, CheckSeverity::kWarning,
+                          "entry does not reach this block")
+          .block = b;
+    }
+  }
+}
+
+void VerifyCfg(const Cfg& cfg, const ExecutableImage& image,
+               const ProcedureSymbol& proc, CheckReport* report) {
+  size_t before = report->violations().size();
+  size_t errors_before = report->num_errors();
+  if (cfg.proc_start() != proc.start || cfg.proc_end() != proc.end) {
+    AddCfgError(report, "CFG bounds do not match the procedure symbol");
+  }
+  VerifyCfgStructure(cfg.blocks(), cfg.edges(), cfg.proc_start(), cfg.proc_end(),
+                     report);
+  // Warnings (dead code) do not invalidate the indices the terminator
+  // checks chase; errors do.
+  bool structure_ok = report->num_errors() == errors_before;
+
+  // Terminator consistency needs a structurally sound graph to index into.
+  if (structure_ok) {
+    const int num_blocks = static_cast<int>(cfg.blocks().size());
+    for (int b = 0; b < num_blocks; ++b) {
+      const BasicBlock& block = cfg.blocks()[b];
+      uint64_t last_pc = block.end_pc - kInstrBytes;
+      std::optional<uint32_t> word = image.InstructionAt(last_pc);
+      std::optional<DecodedInst> inst = word ? Decode(*word) : std::nullopt;
+      if (!inst.has_value()) {
+        AddCfgError(report, "block terminator is unreadable").block = b;
+        continue;
+      }
+      InstrClass klass = inst->klass();
+      bool is_call = inst->op == Opcode::kBsr || inst->op == Opcode::kJsr;
+      bool plain = (is_call || !inst->IsControlFlow()) &&
+                   inst->op != Opcode::kCallPal;
+
+      int fallthrough_edges = 0;
+      int taken_edges = 0;
+      for (int e : block.out_edges) {
+        if (cfg.edges()[e].fallthrough) {
+          ++fallthrough_edges;
+          int expect = block.end_pc < proc.end ? b + 1 : kCfgExit;
+          if (cfg.edges()[e].to != expect) {
+            AddCfgError(report,
+                        "fallthrough edge does not go to the next block")
+                .edge = e;
+          }
+        } else {
+          ++taken_edges;
+        }
+      }
+
+      auto expect_counts = [&](int want_taken, int want_fall,
+                               const char* what) {
+        if (taken_edges != want_taken || fallthrough_edges != want_fall) {
+          AddCfgError(report,
+                      std::string("block ending in ") + what + " has " +
+                          std::to_string(taken_edges) + " taken + " +
+                          std::to_string(fallthrough_edges) +
+                          " fallthrough out-edges (expected " +
+                          std::to_string(want_taken) + "+" +
+                          std::to_string(want_fall) + ")")
+              .block = b;
+        }
+      };
+
+      if (plain) {
+        expect_counts(0, 1, "a non-transfer instruction");
+      } else if (inst->op == Opcode::kCallPal) {
+        expect_counts(1, 0, "a PAL call");
+        if (taken_edges == 1 && !block.out_edges.empty()) {
+          // The single taken edge must terminate flow.
+          for (int e : block.out_edges) {
+            if (!cfg.edges()[e].fallthrough && cfg.edges()[e].to != kCfgExit) {
+              AddCfgError(report, "PAL call has a successor other than exit")
+                  .edge = e;
+            }
+          }
+        }
+      } else if (klass == InstrClass::kCondBranch) {
+        expect_counts(1, 1, "a conditional branch");
+        uint64_t target = inst->BranchTarget(last_pc);
+        for (int e : block.out_edges) {
+          const CfgEdge& edge = cfg.edges()[e];
+          if (edge.fallthrough) continue;
+          int expect = (target >= proc.start && target < proc.end)
+                           ? cfg.BlockIndexFor(target)
+                           : kCfgExit;
+          if (edge.to != expect) {
+            AddCfgError(report, "taken edge does not go to the branch target")
+                .edge = e;
+          }
+        }
+      } else if (klass == InstrClass::kUncondBranch) {
+        expect_counts(1, 0, "an unconditional branch");
+        uint64_t target = inst->BranchTarget(last_pc);
+        for (int e : block.out_edges) {
+          const CfgEdge& edge = cfg.edges()[e];
+          if (edge.fallthrough) continue;
+          int expect = (target >= proc.start && target < proc.end)
+                           ? cfg.BlockIndexFor(target)
+                           : kCfgExit;
+          if (edge.to != expect) {
+            AddCfgError(report, "branch edge does not go to the branch target")
+                .edge = e;
+          }
+        }
+      } else if (inst->op == Opcode::kRet) {
+        expect_counts(1, 0, "ret");
+        for (int e : block.out_edges) {
+          if (cfg.edges()[e].to != kCfgExit) {
+            AddCfgError(report, "ret has a successor other than exit").edge = e;
+          }
+        }
+      } else {
+        // jmp: exactly one taken edge; the target may be a resolved block
+        // or the exit (unresolved / tail call), so only the shape is checked.
+        expect_counts(1, 0, "an indirect jump");
+      }
+    }
+  }
+
+  // Attach provenance to everything this call added.
+  for (size_t i = before; i < report->violations().size(); ++i) {
+    CheckViolation& v = report->violation(i);
+    v.image = image.name();
+    v.proc = proc.name;
+    if (v.pc == 0 && v.block >= 0 &&
+        v.block < static_cast<int>(cfg.blocks().size())) {
+      v.pc = cfg.blocks()[v.block].start_pc;
+    }
+  }
+}
+
+}  // namespace dcpi

@@ -1,0 +1,45 @@
+// Pass 2: structural verification of a built CFG.
+//
+// Cfg::Build is the foundation everything in Section 6 rests on — block
+// frequencies, equivalence classes, and stall attribution all index into
+// its blocks and edges. This pass re-checks the invariants the builder is
+// supposed to guarantee:
+//   * blocks partition the procedure's bytes (sorted, contiguous, aligned,
+//     ids equal to indices);
+//   * every edge endpoint is the virtual entry/exit or a valid block index,
+//     edge ids equal indices, and the per-block in/out adjacency lists agree
+//     exactly with the edge list;
+//   * there is an entry edge, at least one exit edge, every block has a
+//     successor, and the entry reaches every block;
+//   * each block's out-edges are consistent with its terminator instruction
+//     (fallthrough goes to the next block, a conditional branch has exactly
+//     a taken and a fallthrough edge, ret/halt go to the exit, ...).
+//
+// VerifyCfgStructure takes raw block/edge vectors so tests can feed it
+// deliberately corrupted graphs (Cfg itself is immutable by design).
+
+#ifndef SRC_CHECK_CFG_VERIFY_H_
+#define SRC_CHECK_CFG_VERIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/check/check.h"
+#include "src/isa/image.h"
+
+namespace dcpi {
+
+// Structure-only checks on raw CFG parts (no image needed).
+void VerifyCfgStructure(const std::vector<BasicBlock>& blocks,
+                        const std::vector<CfgEdge>& edges, uint64_t proc_start,
+                        uint64_t proc_end, CheckReport* report);
+
+// Full verification of a built CFG: structure plus terminator consistency
+// against the image's instructions.
+void VerifyCfg(const Cfg& cfg, const ExecutableImage& image,
+               const ProcedureSymbol& proc, CheckReport* report);
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_CFG_VERIFY_H_

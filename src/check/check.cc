@@ -1,0 +1,111 @@
+#include "src/check/check.h"
+
+#include <cstdio>
+
+namespace dcpi {
+
+const char* CheckPassName(CheckPass pass) {
+  switch (pass) {
+    case CheckPass::kInput:
+      return "input";
+    case CheckPass::kImageLint:
+      return "image-lint";
+    case CheckPass::kCfgVerify:
+      return "cfg-verify";
+    case CheckPass::kCycleEquiv:
+      return "cycle-equiv";
+    case CheckPass::kFlowConserve:
+      return "flow-conserve";
+    case CheckPass::kSchedule:
+      return "schedule";
+    case CheckPass::kCheckPassCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* CheckSeverityName(CheckSeverity severity) {
+  return severity == CheckSeverity::kError ? "error" : "warning";
+}
+
+std::string CheckViolation::ToString() const {
+  std::string out = "[";
+  out += CheckPassName(pass);
+  out += "] ";
+  out += CheckSeverityName(severity);
+  if (!image.empty() || !proc.empty()) {
+    out += " ";
+    out += image;
+    if (!proc.empty()) {
+      out += "!";
+      out += proc;
+    }
+  }
+  if (pc != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " @0x%llx", static_cast<unsigned long long>(pc));
+    out += buf;
+  }
+  if (block >= 0) out += " block " + std::to_string(block);
+  if (edge >= 0) out += " edge " + std::to_string(edge);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void CheckReport::Add(CheckViolation violation) {
+  if (violation.severity == CheckSeverity::kError) {
+    ++num_errors_;
+  } else {
+    ++num_warnings_;
+  }
+  violations_.push_back(std::move(violation));
+}
+
+CheckViolation& CheckReport::AddViolation(CheckPass pass, CheckSeverity severity,
+                                          std::string message) {
+  CheckViolation violation;
+  violation.pass = pass;
+  violation.severity = severity;
+  violation.message = std::move(message);
+  Add(std::move(violation));
+  return violations_.back();
+}
+
+size_t CheckReport::CountFor(CheckPass pass) const {
+  size_t count = 0;
+  for (const CheckViolation& v : violations_) {
+    if (v.pass == pass) ++count;
+  }
+  return count;
+}
+
+void CheckReport::Merge(const CheckReport& other) {
+  for (const CheckViolation& v : other.violations_) Add(v);
+}
+
+std::string CheckReport::ToString() const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "dcpicheck: %zu error(s), %zu warning(s)\n",
+                num_errors_, num_warnings_);
+  out += line;
+  for (int p = 0; p < kNumCheckPasses; ++p) {
+    CheckPass pass = static_cast<CheckPass>(p);
+    size_t count = CountFor(pass);
+    if (count == 0 && pass != CheckPass::kInput) {
+      std::snprintf(line, sizeof(line), "  %-13s ok\n", CheckPassName(pass));
+    } else {
+      std::snprintf(line, sizeof(line), "  %-13s %zu violation(s)\n",
+                    CheckPassName(pass), count);
+    }
+    if (count > 0 || pass != CheckPass::kInput) out += line;
+  }
+  for (const CheckViolation& v : violations_) {
+    out += v.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,96 @@
+// Static verification layer: shared violation/report types (dcpicheck).
+//
+// Section 6's analysis tower — CFG construction, cycle-equivalence classes,
+// static schedules, flow-constraint propagation — silently corrupts every
+// downstream frequency/CPI/stall number if any layer is subtly wrong. The
+// passes in src/check lint analysis inputs (workload images) and verify
+// analysis outputs against independent oracles. Each pass appends
+// CheckViolations to a CheckReport; tools and tests decide how to surface
+// them (dcpicheck exits non-zero on errors, workload construction aborts).
+//
+// This header has no dependencies on the analysis types so that any layer
+// (including src/analysis itself) can carry a CheckReport.
+
+#ifndef SRC_CHECK_CHECK_H_
+#define SRC_CHECK_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcpi {
+
+// The five dcpicheck passes (plus the shared "input" bucket for files that
+// cannot be loaded at all).
+enum class CheckPass : uint8_t {
+  kInput = 0,       // unreadable image / profile
+  kImageLint,       // pass 1: workload image lint
+  kCfgVerify,       // pass 2: CFG structural invariants
+  kCycleEquiv,      // pass 3: differential cycle equivalence
+  kFlowConserve,    // pass 4: frequency flow conservation
+  kSchedule,        // pass 5: static-schedule invariants
+  kCheckPassCount,
+};
+
+inline constexpr int kNumCheckPasses = static_cast<int>(CheckPass::kCheckPassCount);
+
+const char* CheckPassName(CheckPass pass);
+
+enum class CheckSeverity : uint8_t {
+  kWarning = 0,  // suspicious but not necessarily wrong (dead code, ...)
+  kError,        // a broken invariant: downstream results are not trustworthy
+};
+
+const char* CheckSeverityName(CheckSeverity severity);
+
+// One violation with enough provenance to find the offending object: the
+// image/procedure, and (when applicable) the pc, block id, or edge id.
+struct CheckViolation {
+  CheckPass pass = CheckPass::kInput;
+  CheckSeverity severity = CheckSeverity::kError;
+  std::string message;
+  std::string image;  // image name ("" if not image-scoped)
+  std::string proc;   // procedure name ("" if not procedure-scoped)
+  uint64_t pc = 0;    // 0 = no instruction address
+  int block = -1;     // CFG block id (-1 = none)
+  int edge = -1;      // CFG edge id (-1 = none)
+
+  // "[cfg-verify] error app!loop @0x10010 block 2: ..." style line.
+  std::string ToString() const;
+};
+
+class CheckReport {
+ public:
+  void Add(CheckViolation violation);
+
+  // Convenience: appends a violation with the given fields.
+  CheckViolation& AddViolation(CheckPass pass, CheckSeverity severity,
+                               std::string message);
+
+  const std::vector<CheckViolation>& violations() const { return violations_; }
+  // For passes that stamp provenance (image/proc/pc) onto violations after
+  // recording them.
+  CheckViolation& violation(size_t i) { return violations_[i]; }
+  size_t num_errors() const { return num_errors_; }
+  size_t num_warnings() const { return num_warnings_; }
+  bool ok() const { return num_errors_ == 0; }
+  bool empty() const { return violations_.empty(); }
+
+  // Counts of violations recorded against one pass.
+  size_t CountFor(CheckPass pass) const;
+
+  // Appends all of `other`'s violations.
+  void Merge(const CheckReport& other);
+
+  // Full structured report: per-pass counts then one line per violation.
+  std::string ToString() const;
+
+ private:
+  std::vector<CheckViolation> violations_;
+  size_t num_errors_ = 0;
+  size_t num_warnings_ = 0;
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_CHECK_H_

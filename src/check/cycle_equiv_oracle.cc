@@ -1,0 +1,191 @@
+#include "src/check/cycle_equiv_oracle.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/analysis/cycle_equiv.h"
+
+namespace dcpi {
+
+namespace {
+
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(int n) : parent(n) { std::iota(parent.begin(), parent.end(), 0); }
+  int Find(int x) { return parent[x] == x ? x : parent[x] = Find(parent[x]); }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+// Component count with up to two edges removed.
+int NumComponents(int num_nodes, const std::vector<std::pair<int, int>>& edges,
+                  int skip1, int skip2) {
+  Dsu dsu(num_nodes);
+  for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+    if (e == skip1 || e == skip2) continue;
+    dsu.Union(edges[e].first, edges[e].second);
+  }
+  int components = 0;
+  for (int v = 0; v < num_nodes; ++v) {
+    if (dsu.Find(v) == v) ++components;
+  }
+  return components;
+}
+
+}  // namespace
+
+std::vector<std::vector<bool>> BruteForceCycleEquivalence(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges) {
+  const int m = static_cast<int>(edges.size());
+  const int base = NumComponents(num_nodes, edges, -1, -1);
+  std::vector<bool> bridge(m);
+  for (int e = 0; e < m; ++e) {
+    bridge[e] = edges[e].first != edges[e].second &&
+                NumComponents(num_nodes, edges, e, -1) > base;
+  }
+  std::vector<std::vector<bool>> eq(m, std::vector<bool>(m, false));
+  for (int a = 0; a < m; ++a) {
+    eq[a][a] = true;
+    if (bridge[a] || edges[a].first == edges[a].second) continue;
+    for (int b = a + 1; b < m; ++b) {
+      if (bridge[b] || edges[b].first == edges[b].second) continue;
+      if (NumComponents(num_nodes, edges, a, b) > base) eq[a][b] = eq[b][a] = true;
+    }
+  }
+  return eq;
+}
+
+bool DiffCycleEquivalence(int num_nodes,
+                          const std::vector<std::pair<int, int>>& edges,
+                          const std::string& label, CheckReport* report) {
+  const int m = static_cast<int>(edges.size());
+  std::vector<int> classes = CycleEquivalence(num_nodes, edges);
+  std::vector<std::vector<bool>> oracle = BruteForceCycleEquivalence(num_nodes, edges);
+
+  // CycleEquivalence only promises full answers for the component reached
+  // from node 0 (stray components get singletons), so diff within it.
+  Dsu dsu(num_nodes);
+  for (const auto& [u, v] : edges) dsu.Union(u, v);
+  const int root = num_nodes > 0 ? dsu.Find(0) : -1;
+
+  constexpr int kMaxReported = 20;
+  int mismatches = 0;
+  for (int a = 0; a < m; ++a) {
+    if (dsu.Find(edges[a].first) != root) continue;
+    for (int b = a + 1; b < m; ++b) {
+      if (dsu.Find(edges[b].first) != root) continue;
+      bool fast = classes[a] == classes[b];
+      if (fast == oracle[a][b]) continue;
+      ++mismatches;
+      if (mismatches <= kMaxReported) {
+        report->AddViolation(
+            CheckPass::kCycleEquiv, CheckSeverity::kError,
+            label + ": edges " + std::to_string(a) + " (" +
+                std::to_string(edges[a].first) + "," +
+                std::to_string(edges[a].second) + ") and " + std::to_string(b) +
+                " (" + std::to_string(edges[b].first) + "," +
+                std::to_string(edges[b].second) + ") " +
+                (fast ? "share a bracket-list class but are not a cut pair"
+                      : "form a cut pair but got different bracket-list classes"));
+      }
+    }
+  }
+  if (mismatches > kMaxReported) {
+    report->AddViolation(CheckPass::kCycleEquiv, CheckSeverity::kError,
+                         label + ": ..." + std::to_string(mismatches - kMaxReported) +
+                             " more cycle-equivalence mismatch(es) suppressed");
+  }
+  return mismatches == 0;
+}
+
+bool CheckCfgCycleEquivalence(const Cfg& cfg, const FrequencyResult& freq,
+                              CheckReport* report, size_t max_edges) {
+  const int num_blocks = static_cast<int>(cfg.blocks().size());
+  const int num_edges = static_cast<int>(cfg.edges().size());
+  if (static_cast<int>(freq.block_class.size()) != num_blocks ||
+      static_cast<int>(freq.edge_class.size()) != num_edges) {
+    report->AddViolation(CheckPass::kCycleEquiv, CheckSeverity::kError,
+                         "frequency result class vectors do not match the CFG");
+    return false;
+  }
+  if (num_blocks == 0) return true;
+
+  if (cfg.missing_edges()) {
+    // Unresolved indirect jumps degrade every block/edge to its own class;
+    // the invariant left to check is that they really are all distinct.
+    std::vector<int> seen;
+    seen.reserve(num_blocks + num_edges);
+    for (int c : freq.block_class) seen.push_back(c);
+    for (int c : freq.edge_class) seen.push_back(c);
+    std::sort(seen.begin(), seen.end());
+    for (size_t i = 1; i < seen.size(); ++i) {
+      if (seen[i] == seen[i - 1] && seen[i] >= 0) {
+        report->AddViolation(CheckPass::kCycleEquiv, CheckSeverity::kError,
+                             "CFG with missing edges must use singleton "
+                             "classes, but class " +
+                                 std::to_string(seen[i]) + " is shared");
+        return false;
+      }
+    }
+    return true;
+  }
+  if (freq.block_class[0] < 0) {
+    report->AddViolation(CheckPass::kCycleEquiv, CheckSeverity::kWarning,
+                         "no equivalence classes recorded; differential "
+                         "check skipped");
+    return true;
+  }
+
+  EquivalenceGraph graph = BuildEquivalenceGraph(cfg);
+  if (graph.edges.size() > max_edges) {
+    report->AddViolation(CheckPass::kCycleEquiv, CheckSeverity::kWarning,
+                         "equivalence graph has " +
+                             std::to_string(graph.edges.size()) +
+                             " edges; O(E^2) differential check skipped");
+    return true;
+  }
+
+  // The recorded partition, in equivalence-graph edge order (the closing
+  // exit->entry edge has no recorded class: recompute nothing for it).
+  std::vector<std::vector<bool>> oracle =
+      BruteForceCycleEquivalence(graph.num_vertices, graph.edges);
+  auto recorded_class = [&](int graph_edge) {
+    return graph_edge < num_blocks ? freq.block_class[graph_edge]
+                                   : freq.edge_class[graph_edge - num_blocks];
+  };
+  auto describe = [&](int graph_edge) {
+    return graph_edge < num_blocks
+               ? "block " + std::to_string(graph_edge)
+               : "edge " + std::to_string(graph_edge - num_blocks);
+  };
+
+  // Restrict to the component reachable from vertex 0 (block 0's in-vertex),
+  // matching CycleEquivalence's stray-component singleton convention.
+  Dsu dsu(graph.num_vertices);
+  for (const auto& [u, v] : graph.edges) dsu.Union(u, v);
+  const int root = dsu.Find(0);
+
+  const int checked = num_blocks + num_edges;  // skip the closing edge
+  bool consistent = true;
+  for (int a = 0; a < checked && consistent; ++a) {
+    if (dsu.Find(graph.edges[a].first) != root) continue;
+    for (int b = a + 1; b < checked; ++b) {
+      if (dsu.Find(graph.edges[b].first) != root) continue;
+      bool recorded = recorded_class(a) == recorded_class(b);
+      if (recorded == oracle[a][b]) continue;
+      CheckViolation& v = report->AddViolation(
+          CheckPass::kCycleEquiv, CheckSeverity::kError,
+          describe(a) + " and " + describe(b) +
+              (recorded ? " share a frequency class but are not cycle "
+                          "equivalent (oracle: not a cut pair)"
+                        : " are cycle equivalent (oracle: cut pair) but got "
+                          "different frequency classes"));
+      v.block = a < num_blocks ? a : -1;
+      v.edge = a < num_blocks ? -1 : a - num_blocks;
+      consistent = false;
+      break;  // one witness per CFG keeps reports readable
+    }
+  }
+  return consistent;
+}
+
+}  // namespace dcpi

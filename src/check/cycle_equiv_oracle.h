@@ -1,0 +1,55 @@
+// Pass 3: differential verification of cycle equivalence.
+//
+// Frequency equivalence classes come from the Johnson-Pearson-Pingali
+// bracket-list algorithm (src/analysis/cycle_equiv.cc), whose O(E)
+// bookkeeping is easy to get subtly wrong. This pass recomputes the classes
+// with an independent brute-force characterization and diffs the two:
+//   * a self-loop, or a bridge (an edge whose removal disconnects its
+//     component), is in a singleton class;
+//   * two other edges are cycle equivalent iff removing both disconnects
+//     the graph (they form a cut pair, so every cycle through one must
+//     return through the other).
+// The oracle is O(E^2) disjoint-set passes — fine for the small CFGs real
+// workloads produce, and for the random graphs the property tests feed it.
+
+#ifndef SRC_CHECK_CYCLE_EQUIV_ORACLE_H_
+#define SRC_CHECK_CYCLE_EQUIV_ORACLE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/frequency.h"
+#include "src/check/check.h"
+
+namespace dcpi {
+
+// Pairwise cycle equivalence by brute force. eq[a][b] is true iff edges a
+// and b are cycle equivalent. Handles disconnected graphs (edges in
+// different components are never equivalent).
+std::vector<std::vector<bool>> BruteForceCycleEquivalence(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges);
+
+// Runs CycleEquivalence and the brute-force oracle on the same graph and
+// appends a violation per disagreeing edge pair (capped to keep reports
+// readable). Comparison is restricted to the component containing node 0:
+// CycleEquivalence documents singleton classes for stray components, which
+// is deliberately weaker than true per-component equivalence. Returns true
+// if the two algorithms agree.
+bool DiffCycleEquivalence(int num_nodes,
+                          const std::vector<std::pair<int, int>>& edges,
+                          const std::string& label, CheckReport* report);
+
+// Verifies a FrequencyResult's block/edge classes against the oracle: the
+// node-split equivalence graph is rebuilt from the CFG and the partition
+// induced by block_class/edge_class must match the oracle's. Skipped (with
+// a warning) above `max_edges` equivalence-graph edges, where the O(E^2)
+// oracle stops being cheap. Returns true if consistent.
+bool CheckCfgCycleEquivalence(const Cfg& cfg, const FrequencyResult& freq,
+                              CheckReport* report, size_t max_edges = 250);
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_CYCLE_EQUIV_ORACLE_H_

@@ -1,0 +1,80 @@
+#include "src/check/dcpicheck.h"
+
+#include <memory>
+#include <optional>
+
+#include "src/check/selfcheck.h"
+#include "src/isa/image_io.h"
+#include "src/profiledb/database.h"
+
+namespace dcpi {
+
+namespace {
+
+std::optional<ImageProfile> MaybeProfile(ProfileDatabase& db, uint32_t epoch,
+                                         const std::string& image_name,
+                                         EventType event) {
+  Result<ImageProfile> profile = db.ReadProfile(epoch, image_name, event);
+  if (!profile.ok()) return std::nullopt;
+  return std::move(profile.value());
+}
+
+}  // namespace
+
+CheckReport RunDcpicheck(const DcpicheckOptions& options) {
+  CheckReport report;
+  ProfileDatabase db(options.db_root);
+  AnalysisConfig config = options.analysis;
+  config.selfcheck = true;
+
+  for (const std::string& file : options.image_files) {
+    Result<std::shared_ptr<ExecutableImage>> loaded = LoadImage(file);
+    if (!loaded.ok()) {
+      report.AddViolation(CheckPass::kInput, CheckSeverity::kError,
+                          "cannot load image " + file + ": " +
+                              loaded.status().ToString());
+      continue;
+    }
+    const ExecutableImage& image = *loaded.value();
+    LintImage(image, &report, options.lint);
+
+    std::optional<ImageProfile> cycles =
+        MaybeProfile(db, options.epoch, image.name(), EventType::kCycles);
+    if (!cycles.has_value()) {
+      CheckViolation& v = report.AddViolation(
+          CheckPass::kInput, CheckSeverity::kWarning,
+          "no CYCLES profile in epoch " + std::to_string(options.epoch) +
+              "; analysis passes skipped");
+      v.image = image.name();
+      continue;
+    }
+    std::optional<ImageProfile> imiss =
+        MaybeProfile(db, options.epoch, image.name(), EventType::kImiss);
+    std::optional<ImageProfile> dmiss =
+        MaybeProfile(db, options.epoch, image.name(), EventType::kDmiss);
+    std::optional<ImageProfile> branchmp =
+        MaybeProfile(db, options.epoch, image.name(), EventType::kBranchMp);
+    std::optional<ImageProfile> dtbmiss =
+        MaybeProfile(db, options.epoch, image.name(), EventType::kDtbMiss);
+
+    for (const ProcedureSymbol& proc : image.procedures()) {
+      Result<ProcedureAnalysis> analysis = AnalyzeProcedureChecked(
+          image, proc, *cycles, imiss.has_value() ? &*imiss : nullptr,
+          dmiss.has_value() ? &*dmiss : nullptr,
+          branchmp.has_value() ? &*branchmp : nullptr,
+          dtbmiss.has_value() ? &*dtbmiss : nullptr, config);
+      if (!analysis.ok()) {
+        CheckViolation& v = report.AddViolation(
+            CheckPass::kInput, CheckSeverity::kError,
+            "analysis failed: " + analysis.status().ToString());
+        v.image = image.name();
+        v.proc = proc.name;
+        continue;
+      }
+      report.Merge(analysis.value().selfcheck_report);
+    }
+  }
+  return report;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,36 @@
+// dcpicheck driver: all five verification passes over a profile database
+// and an image set — the static-analysis counterpart of dcpiprof/dcpicalc.
+//
+// For every image: pass 1 (image lint) runs unconditionally; if the
+// database has a CYCLES profile for the image in the chosen epoch, every
+// procedure is analyzed and passes 2-5 (CFG structure, differential cycle
+// equivalence, flow conservation, schedule invariants) run over the
+// analysis. The report collects every violation; callers exit non-zero
+// when report.ok() is false.
+
+#ifndef SRC_CHECK_DCPICHECK_H_
+#define SRC_CHECK_DCPICHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/check/check.h"
+#include "src/check/image_lint.h"
+
+namespace dcpi {
+
+struct DcpicheckOptions {
+  std::string db_root;
+  uint32_t epoch = 0;
+  std::vector<std::string> image_files;
+  ImageLintOptions lint;
+  AnalysisConfig analysis;
+};
+
+CheckReport RunDcpicheck(const DcpicheckOptions& options);
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_DCPICHECK_H_

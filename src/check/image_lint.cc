@@ -1,0 +1,186 @@
+#include "src/check/image_lint.h"
+
+#include <optional>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/isa/instruction.h"
+
+namespace dcpi {
+
+namespace {
+
+void AddLint(CheckReport* report, CheckSeverity severity, const ExecutableImage& image,
+             const ProcedureSymbol* proc, uint64_t pc, std::string message) {
+  CheckViolation violation;
+  violation.pass = CheckPass::kImageLint;
+  violation.severity = severity;
+  violation.message = std::move(message);
+  violation.image = image.name();
+  if (proc != nullptr) violation.proc = proc->name;
+  violation.pc = pc;
+  report->Add(std::move(violation));
+}
+
+// True if `inst` legally ends a procedure: control transfer that does not
+// return here (ret/br/jmp), or a PAL call (halt/yield terminate flow in the
+// machine model).
+bool IsTerminator(const DecodedInst& inst) {
+  if (inst.op == Opcode::kCallPal) return true;
+  if (inst.op == Opcode::kBsr || inst.op == Opcode::kJsr) return false;  // calls return
+  return inst.IsControlFlow();
+}
+
+}  // namespace
+
+void LintImage(const ExecutableImage& image, CheckReport* report,
+               const ImageLintOptions& options) {
+  // Image-wide written-register sets. The kernel initializes sp, and the
+  // return-address register may be written by a cross-image caller's jsr
+  // (the X11 workload's dispatch pattern), so both are exempt.
+  bool written[2][kNumIntRegs] = {};
+  written[static_cast<int>(RegBank::kInt)][kStackReg] = true;
+  written[static_cast<int>(RegBank::kInt)][kReturnAddrReg] = true;
+  bool image_decodes = true;
+  for (uint64_t pc = image.text_base(); pc < image.text_end(); pc += kInstrBytes) {
+    std::optional<DecodedInst> inst = Decode(*image.InstructionAt(pc));
+    if (!inst.has_value()) {
+      image_decodes = false;
+      continue;
+    }
+    std::optional<RegRef> dest = inst->DestReg();
+    if (dest.has_value() && !dest->IsZero()) {
+      written[static_cast<int>(dest->bank)][dest->index] = true;
+    }
+  }
+
+  for (const ProcedureSymbol& proc : image.procedures()) {
+    if (proc.end <= proc.start) {
+      AddLint(report, CheckSeverity::kError, image, &proc, proc.start,
+              "empty procedure");
+      continue;
+    }
+    bool proc_decodes = true;
+    // One report per (register, procedure) so a loop does not spam.
+    bool reported_read[2][kNumIntRegs] = {};
+    for (uint64_t pc = proc.start; pc < proc.end; pc += kInstrBytes) {
+      std::optional<uint32_t> word = image.InstructionAt(pc);
+      if (!word.has_value()) {
+        AddLint(report, CheckSeverity::kError, image, &proc, pc,
+                "procedure extends past the image text section");
+        proc_decodes = false;
+        break;
+      }
+      std::optional<DecodedInst> inst = Decode(*word);
+      if (!inst.has_value()) {
+        AddLint(report, CheckSeverity::kError, image, &proc, pc,
+                "undecodable instruction word");
+        proc_decodes = false;
+        continue;
+      }
+
+      // Branch-target checks (direct branches only; computed jumps are the
+      // CFG builder's indirect-target analysis problem).
+      InstrClass klass = inst->klass();
+      if (klass == InstrClass::kCondBranch || klass == InstrClass::kUncondBranch) {
+        uint64_t target = inst->BranchTarget(pc);
+        bool is_call = inst->op == Opcode::kBsr;
+        if (!image.ContainsPc(target)) {
+          AddLint(report, CheckSeverity::kError, image, &proc, pc,
+                  (is_call ? "call" : "branch") +
+                      std::string(" target outside the image text section"));
+        } else if (!is_call && (target < proc.start || target >= proc.end)) {
+          AddLint(report, CheckSeverity::kWarning, image, &proc, pc,
+                  "branch target in another procedure (interprocedural flow "
+                  "becomes an exit edge in the CFG)");
+        }
+      }
+
+      // Never-written register reads.
+      RegRef srcs[3];
+      int nsrcs = inst->SourceRegs(srcs);
+      for (int s = 0; s < nsrcs; ++s) {
+        if (srcs[s].IsZero()) continue;
+        int bank = static_cast<int>(srcs[s].bank);
+        if (written[bank][srcs[s].index] || reported_read[bank][srcs[s].index]) {
+          continue;
+        }
+        reported_read[bank][srcs[s].index] = true;
+        AddLint(report,
+                options.never_written_read_is_error ? CheckSeverity::kError
+                                                    : CheckSeverity::kWarning,
+                image, &proc, pc,
+                "reads " + RegName(srcs[s]) +
+                    ", which no instruction in the image writes");
+      }
+    }
+    if (!proc_decodes) continue;
+
+    // Fallthrough off the last block. Falling into the procedure that
+    // starts at proc.end is a real idiom (the pointer-chase workload's
+    // init code falls into its loop procedure), so that is only flagged
+    // as a warning; falling off into a gap or past the text is an error.
+    uint64_t last_pc = proc.end - kInstrBytes;
+    DecodedInst last = *Decode(*image.InstructionAt(last_pc));
+    if (!IsTerminator(last)) {
+      const ProcedureSymbol* next = image.FindProcedure(proc.end);
+      if (next != nullptr && next->start == proc.end) {
+        AddLint(report, CheckSeverity::kWarning, image, &proc, last_pc,
+                "control falls through into procedure " + next->name);
+      } else {
+        AddLint(report, CheckSeverity::kError, image, &proc, last_pc,
+                "control falls through the end of the procedure (last "
+                "instruction is not a ret/br/jmp/PAL-call)");
+      }
+    }
+
+    // Unreachable-code detection via the real CFG builder.
+    Result<Cfg> cfg = Cfg::Build(image, proc);
+    if (!cfg.ok()) {
+      AddLint(report, CheckSeverity::kError, image, &proc, proc.start,
+              "CFG construction failed: " + cfg.status().ToString());
+      continue;
+    }
+    const Cfg& graph = cfg.value();
+    std::vector<bool> reachable(graph.blocks().size(), false);
+    std::vector<int> worklist;
+    for (int e : graph.EntryEdges()) {
+      int to = graph.edges()[e].to;
+      if (to >= 0 && !reachable[to]) {
+        reachable[to] = true;
+        worklist.push_back(to);
+      }
+    }
+    while (!worklist.empty()) {
+      int b = worklist.back();
+      worklist.pop_back();
+      for (int e : graph.blocks()[b].out_edges) {
+        int to = graph.edges()[e].to;
+        if (to >= 0 && !reachable[to]) {
+          reachable[to] = true;
+          worklist.push_back(to);
+        }
+      }
+    }
+    for (size_t b = 0; b < graph.blocks().size(); ++b) {
+      if (!reachable[b]) {
+        CheckViolation violation;
+        violation.pass = CheckPass::kImageLint;
+        violation.severity = CheckSeverity::kWarning;
+        violation.message = "unreachable code (no path from the procedure entry)";
+        violation.image = image.name();
+        violation.proc = proc.name;
+        violation.pc = graph.blocks()[b].start_pc;
+        violation.block = static_cast<int>(b);
+        report->Add(std::move(violation));
+      }
+    }
+  }
+
+  if (!image_decodes) {
+    AddLint(report, CheckSeverity::kError, image, nullptr, 0,
+            "image contains undecodable instruction words");
+  }
+}
+
+}  // namespace dcpi

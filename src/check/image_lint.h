@@ -1,0 +1,41 @@
+// Pass 1: static lint of an assembled workload image.
+//
+// Run at workload-construction time (WorkloadFactory::Build) so a bad
+// workload fails fast instead of producing garbage profiles that the
+// analysis then faithfully misattributes. Checks, per procedure:
+//   * every instruction word decodes;
+//   * branch/call targets land on instruction boundaries inside the image,
+//     and non-call branch targets stay inside the procedure (a branch into
+//     a sibling procedure is only a warning: the paper's CFG ignores
+//     interprocedural edges, so such flow silently becomes an exit edge);
+//   * the last block does not fall off the end of the procedure (the last
+//     instruction must be a ret/br/jmp or a PAL call);
+//   * no instruction reads an integer/FP register that no instruction in
+//     the whole image ever writes (the stack pointer is kernel-initialized,
+//     the return-address register may be written by a cross-image caller,
+//     and the zero registers are architectural; everything else relying on
+//     the simulator's zero-filled register file is almost always a typo);
+//   * unreachable code (blocks the procedure entry cannot reach) — a
+//     warning, since padding and defensive halts are legitimate.
+
+#ifndef SRC_CHECK_IMAGE_LINT_H_
+#define SRC_CHECK_IMAGE_LINT_H_
+
+#include "src/check/check.h"
+#include "src/isa/image.h"
+
+namespace dcpi {
+
+struct ImageLintOptions {
+  // Treat a read of a never-written register as an error (default) or a
+  // warning (for hand-crafted fixtures that rely on zero-initialization).
+  bool never_written_read_is_error = true;
+};
+
+// Lints every procedure of `image`, appending violations to `report`.
+void LintImage(const ExecutableImage& image, CheckReport* report,
+               const ImageLintOptions& options = ImageLintOptions());
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_IMAGE_LINT_H_

@@ -1,0 +1,156 @@
+#include "src/check/schedule_check.h"
+
+#include <optional>
+#include <string>
+
+#include "src/cpu/pipeline_model.h"
+
+namespace dcpi {
+
+namespace {
+
+// Whether `kind` can legally be attributed to `inst` at all, given which
+// register fields / functional units the opcode actually has.
+bool StallLegalFor(StaticStallKind kind, const DecodedInst& inst) {
+  const OpcodeInfo& oi = inst.info();
+  RegRef srcs[3];
+  switch (kind) {
+    case StaticStallKind::kNone:
+    case StaticStallKind::kSlotting:
+      return true;
+    case StaticStallKind::kRaDependency:
+      return inst.SourceRegs(srcs) > 0;
+    case StaticStallKind::kRbDependency:
+      return oi.format == InstrFormat::kMemory ||
+             (oi.format == InstrFormat::kOperate && !inst.has_literal);
+    case StaticStallKind::kRcDependency: {
+      if (oi.format == InstrFormat::kOperate) return true;  // rc source (cmov)
+      std::optional<RegRef> dest = inst.DestReg();          // WAW on a group dest
+      return dest.has_value() && !dest->IsZero();
+    }
+    case StaticStallKind::kFuDependency:
+      return PipelineModel::UsesImul(inst) || PipelineModel::UsesFdiv(inst);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CheckBlockSchedule(const std::vector<DecodedInst>& instrs,
+                        const BlockSchedule& schedule, CheckReport* report) {
+  size_t before = report->violations().size();
+  auto add = [&](size_t i, std::string message) {
+    report->AddViolation(CheckPass::kSchedule, CheckSeverity::kError,
+                         "instruction " + std::to_string(i) + ": " +
+                             std::move(message));
+  };
+
+  if (schedule.instrs.size() != instrs.size()) {
+    report->AddViolation(CheckPass::kSchedule, CheckSeverity::kError,
+                         "schedule has " + std::to_string(schedule.instrs.size()) +
+                             " entries for " + std::to_string(instrs.size()) +
+                             " instructions");
+    return false;
+  }
+
+  uint64_t sum_m = 0;
+  for (size_t i = 0; i < schedule.instrs.size(); ++i) {
+    const StaticInstr& si = schedule.instrs[i];
+    sum_m += si.m;
+    if (i == 0) {
+      if (si.m != 1) add(i, "first instruction must have M = 1, has M = " +
+                                std::to_string(si.m));
+      if (si.dual_issued) add(i, "first instruction cannot dual-issue");
+      if (si.stall != StaticStallKind::kNone) {
+        add(i, "first instruction cannot carry a stall reason");
+      }
+    } else {
+      const StaticInstr& prev = schedule.instrs[i - 1];
+      if (si.dual_issued) {
+        if (si.m != 0) add(i, "dual-issued instruction must have M = 0");
+        if (si.issue_cycle != prev.issue_cycle) {
+          add(i, "dual-issued instruction must share its predecessor's "
+                 "issue cycle");
+        }
+        if (si.stall != StaticStallKind::kNone) {
+          add(i, "dual-issued instruction cannot carry a stall reason");
+        }
+      } else {
+        if (si.m < 1) add(i, "non-dual-issued instruction must have M >= 1");
+        if (si.issue_cycle <= prev.issue_cycle) {
+          add(i, "issue cycles must strictly increase except across "
+                 "dual-issue (monotonicity)");
+        }
+        if (si.issue_cycle - prev.issue_cycle != si.m) {
+          add(i, "M must equal the issue-cycle gap to the predecessor");
+        }
+      }
+    }
+    if ((si.stall == StaticStallKind::kNone) != (si.stall_cycles == 0)) {
+      add(i, std::string("stall reason '") + StaticStallKindName(si.stall) +
+                 "' inconsistent with " + std::to_string(si.stall_cycles) +
+                 " stall cycles");
+    }
+    if (!StallLegalFor(si.stall, instrs[i])) {
+      add(i, std::string("stall reason '") + StaticStallKindName(si.stall) +
+                 "' is illegal for " + instrs[i].info().mnemonic);
+    }
+    if (si.culprit < -1 || si.culprit >= static_cast<int>(i)) {
+      add(i, "culprit " + std::to_string(si.culprit) +
+                 " is not an earlier instruction of the block");
+    }
+    if (si.stall == StaticStallKind::kNone && si.culprit != -1) {
+      add(i, "culprit recorded without a stall reason");
+    }
+  }
+  if (schedule.total_cycles != sum_m) {
+    report->AddViolation(CheckPass::kSchedule, CheckSeverity::kError,
+                         "total_cycles " + std::to_string(schedule.total_cycles) +
+                             " != sum of M (" + std::to_string(sum_m) + ")");
+  }
+  return report->violations().size() == before;
+}
+
+bool CheckProcedureSchedules(const Cfg& cfg, const ExecutableImage& image,
+                             const ProcedureSymbol& proc,
+                             const std::vector<BlockSchedule>& schedules,
+                             CheckReport* report) {
+  size_t before = report->violations().size();
+  if (schedules.size() != cfg.blocks().size()) {
+    CheckViolation& v = report->AddViolation(
+        CheckPass::kSchedule, CheckSeverity::kError,
+        "have " + std::to_string(schedules.size()) + " schedules for " +
+            std::to_string(cfg.blocks().size()) + " blocks");
+    v.image = image.name();
+    v.proc = proc.name;
+    return false;
+  }
+  for (size_t b = 0; b < cfg.blocks().size(); ++b) {
+    const BasicBlock& block = cfg.blocks()[b];
+    std::vector<DecodedInst> instrs;
+    instrs.reserve(block.num_instructions());
+    bool decoded = true;
+    for (uint64_t pc = block.start_pc; pc < block.end_pc; pc += kInstrBytes) {
+      std::optional<uint32_t> word = image.InstructionAt(pc);
+      std::optional<DecodedInst> inst = word ? Decode(*word) : std::nullopt;
+      if (!inst.has_value()) {
+        decoded = false;
+        break;
+      }
+      instrs.push_back(*inst);
+    }
+    if (!decoded) continue;  // image lint owns unreadable-text reporting
+    size_t block_before = report->violations().size();
+    CheckBlockSchedule(instrs, schedules[b], report);
+    for (size_t i = block_before; i < report->violations().size(); ++i) {
+      CheckViolation& v = report->violation(i);
+      v.image = image.name();
+      v.proc = proc.name;
+      v.block = static_cast<int>(b);
+      if (v.pc == 0) v.pc = block.start_pc;
+    }
+  }
+  return report->violations().size() == before;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,46 @@
+// Pass 5: static-schedule invariants.
+//
+// ScheduleBlock's output feeds both frequency estimation (issue points are
+// instructions with M_i > 0) and dcpicalc's static-stall columns, so a
+// schedule that violates its own invariants silently skews every downstream
+// number. Checked, per instruction:
+//   * the first instruction has M = 1 and no stall;
+//   * a dual-issued instruction has M = 0, no stall, and the same issue
+//     cycle as its predecessor;
+//   * every other instruction has M >= 1 and a strictly later issue cycle
+//     than its predecessor (issue-point monotonicity);
+//   * a stall reason is legal for the opcode: Ra needs a source register,
+//     Rb needs a memory-format instruction or an operate without a literal,
+//     Rc needs an operate format or a written destination (WAW), FU needs
+//     an IMUL/FDIV instruction; slotting is always legal;
+//   * stall != none iff stall_cycles >= 1; the culprit is an earlier
+//     instruction of the block (or -1);
+//   * total_cycles is the sum of the M_i.
+
+#ifndef SRC_CHECK_SCHEDULE_CHECK_H_
+#define SRC_CHECK_SCHEDULE_CHECK_H_
+
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/static_schedule.h"
+#include "src/check/check.h"
+#include "src/isa/image.h"
+
+namespace dcpi {
+
+// Checks one block's schedule against the instructions it was built from.
+// Returns true if no violation was appended.
+bool CheckBlockSchedule(const std::vector<DecodedInst>& instrs,
+                        const BlockSchedule& schedule, CheckReport* report);
+
+// Checks the per-block schedules of a whole procedure, stamping image /
+// procedure / pc provenance onto violations.
+bool CheckProcedureSchedules(const Cfg& cfg, const ExecutableImage& image,
+                             const ProcedureSymbol& proc,
+                             const std::vector<BlockSchedule>& schedules,
+                             CheckReport* report);
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_SCHEDULE_CHECK_H_

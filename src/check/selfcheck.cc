@@ -1,0 +1,41 @@
+#include "src/check/selfcheck.h"
+
+#include "src/check/cfg_verify.h"
+#include "src/check/cycle_equiv_oracle.h"
+#include "src/check/flow_check.h"
+#include "src/check/schedule_check.h"
+
+namespace dcpi {
+
+bool VerifyAnalysis(const ExecutableImage& image, const ProcedureSymbol& proc,
+                    const ProcedureAnalysis& analysis, double period,
+                    CheckReport* report) {
+  size_t errors_before = report->num_errors();
+  VerifyCfg(analysis.cfg, image, proc, report);
+  CheckProcedureSchedules(analysis.cfg, image, proc, analysis.schedules, report);
+
+  size_t before = report->violations().size();
+  CheckCfgCycleEquivalence(analysis.cfg, analysis.frequencies, report);
+  CheckFlowConservation(analysis.cfg, analysis.frequencies, period, report);
+  for (size_t i = before; i < report->violations().size(); ++i) {
+    CheckViolation& v = report->violation(i);
+    if (v.image.empty()) v.image = image.name();
+    if (v.proc.empty()) v.proc = proc.name;
+  }
+  return report->num_errors() == errors_before;
+}
+
+Result<ProcedureAnalysis> AnalyzeProcedureChecked(
+    const ExecutableImage& image, const ProcedureSymbol& proc,
+    const ImageProfile& cycles, const ImageProfile* imiss,
+    const ImageProfile* dmiss, const ImageProfile* branchmp,
+    const ImageProfile* dtbmiss, const AnalysisConfig& config) {
+  Result<ProcedureAnalysis> result = AnalyzeProcedure(
+      image, proc, cycles, imiss, dmiss, branchmp, dtbmiss, config);
+  if (!result.ok() || !config.selfcheck) return result;
+  VerifyAnalysis(image, proc, result.value(), cycles.mean_period(),
+                 &result.value().selfcheck_report);
+  return result;
+}
+
+}  // namespace dcpi

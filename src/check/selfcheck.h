@@ -1,0 +1,32 @@
+// AnalyzeProcedure + verification: the --selfcheck entry point.
+//
+// Runs the standard analysis and then, when AnalysisConfig::selfcheck is
+// set, passes 2-5 of the verification library over the result (CFG
+// structure, differential cycle equivalence, flow conservation, schedule
+// invariants), filling ProcedureAnalysis::selfcheck_report. Lives in
+// src/check (not src/analysis) so that the analysis library does not
+// depend on its own verifiers.
+
+#ifndef SRC_CHECK_SELFCHECK_H_
+#define SRC_CHECK_SELFCHECK_H_
+
+#include "src/analysis/analyzer.h"
+
+namespace dcpi {
+
+// Drop-in replacement for AnalyzeProcedure that honors config.selfcheck.
+Result<ProcedureAnalysis> AnalyzeProcedureChecked(
+    const ExecutableImage& image, const ProcedureSymbol& proc,
+    const ImageProfile& cycles, const ImageProfile* imiss,
+    const ImageProfile* dmiss, const ImageProfile* branchmp,
+    const ImageProfile* dtbmiss, const AnalysisConfig& config);
+
+// Runs passes 2-5 over an already-computed analysis; appends to `report`.
+// Returns true if no *error* was appended (warnings allowed).
+bool VerifyAnalysis(const ExecutableImage& image, const ProcedureSymbol& proc,
+                    const ProcedureAnalysis& analysis, double period,
+                    CheckReport* report);
+
+}  // namespace dcpi
+
+#endif  // SRC_CHECK_SELFCHECK_H_

@@ -80,11 +80,13 @@ int main(int argc, char** argv) {
   // Save images for the offline tools.
   std::filesystem::create_directories(out_dir + "/images");
   int image_index = 0;
+  bool save_failed = false;
   for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
     std::string path = out_dir + "/images/image_" + std::to_string(image_index++) + ".img";
     Status saved = SaveImage(*truth.image, path);
     if (!saved.ok()) {
       std::fprintf(stderr, "cannot save image: %s\n", saved.ToString().c_str());
+      save_failed = true;
     }
   }
 
@@ -101,5 +103,5 @@ int main(int argc, char** argv) {
   std::printf("profile db:      %s (epoch %u)\n", config.db_root.c_str(),
               system.database()->current_epoch());
   std::printf("images:          %s/images/\n", out_dir.c_str());
-  return result.had_error ? 1 : 0;
+  return (result.had_error || save_failed) ? 1 : 0;
 }

@@ -1,15 +1,17 @@
 // dcpicalc CLI: instruction-level analysis of one procedure.
 //
 // Usage:
-//   dcpicalc [-s] <db_root> <epoch> <image_file> <procedure>
+//   dcpicalc [-s] [--selfcheck] <db_root> <epoch> <image_file> <procedure>
 //
 // Prints the Figure 2 style annotated listing; -s prints the Figure 4
-// style stall summary instead.
+// style stall summary instead. --selfcheck additionally runs the src/check
+// verification passes over the analysis and fails (exit 1) on violations.
 
 #include <cstdio>
 #include <cstring>
 #include <optional>
 
+#include "src/check/selfcheck.h"
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
 #include "src/tools/dcpicalc.h"
@@ -17,13 +19,23 @@
 int main(int argc, char** argv) {
   using namespace dcpi;
   bool summary = false;
+  bool selfcheck = false;
   int arg = 1;
-  if (arg < argc && std::strcmp(argv[arg], "-s") == 0) {
-    summary = true;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "-s") == 0) {
+      summary = true;
+    } else if (std::strcmp(argv[arg], "--selfcheck") == 0) {
+      selfcheck = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+      return 2;
+    }
     ++arg;
   }
   if (argc - arg < 4) {
-    std::fprintf(stderr, "usage: dcpicalc [-s] <db_root> <epoch> <image_file> <procedure>\n");
+    std::fprintf(stderr,
+                 "usage: dcpicalc [-s] [--selfcheck] <db_root> <epoch> "
+                 "<image_file> <procedure>\n");
     return 2;
   }
   ProfileDatabase db(argv[arg]);
@@ -51,7 +63,8 @@ int main(int argc, char** argv) {
   if (imiss_result.ok()) imiss = std::move(imiss_result.value());
 
   AnalysisConfig config;
-  Result<ProcedureAnalysis> analysis = AnalyzeProcedure(
+  config.selfcheck = selfcheck;
+  Result<ProcedureAnalysis> analysis = AnalyzeProcedureChecked(
       *image.value(), *proc, cycles.value(), imiss.has_value() ? &*imiss : nullptr,
       nullptr, nullptr, nullptr, config);
   if (!analysis.ok()) {
@@ -62,6 +75,11 @@ int main(int argc, char** argv) {
     std::fputs(FormatStallSummary(analysis.value()).c_str(), stdout);
   } else {
     std::fputs(FormatCalcListing(*image.value(), analysis.value()).c_str(), stdout);
+  }
+  if (selfcheck) {
+    const CheckReport& report = analysis.value().selfcheck_report;
+    if (!report.empty()) std::fputs(report.ToString().c_str(), stderr);
+    if (!report.ok()) return 1;
   }
   return 0;
 }

@@ -1,0 +1,30 @@
+// dcpicheck CLI: static verification of a profile database + image set.
+//
+// Usage:
+//   dcpicheck <db_root> <epoch> <image_file>...
+//
+// Runs all five verification passes (image lint, CFG structure,
+// differential cycle equivalence, flow conservation, schedule invariants)
+// and prints a structured report. Exits 0 when no errors were found,
+// 1 on violations or unreadable inputs, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/check/dcpicheck.h"
+
+int main(int argc, char** argv) {
+  using namespace dcpi;
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: dcpicheck <db_root> <epoch> <image_file>...\n");
+    return 2;
+  }
+  DcpicheckOptions options;
+  options.db_root = argv[1];
+  options.epoch = static_cast<uint32_t>(std::atoi(argv[2]));
+  for (int i = 3; i < argc; ++i) options.image_files.push_back(argv[i]);
+
+  CheckReport report = RunDcpicheck(options);
+  std::fputs(report.ToString().c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}

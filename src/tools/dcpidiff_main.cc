@@ -45,6 +45,11 @@ int main(int argc, char** argv) {
       after_inputs.push_back({image.value(), &storage.back(), nullptr});
     }
   }
+  if (before_inputs.empty() && after_inputs.empty()) {
+    std::fprintf(stderr, "no CYCLES profiles for the given images in epoch %u or %u of %s\n",
+                 epoch_before, epoch_after, argv[1]);
+    return 1;
+  }
   std::vector<DiffRow> rows =
       DiffProcedures(ListProcedures(before_inputs), ListProcedures(after_inputs));
   std::fputs(FormatDiff(rows).c_str(), stdout);

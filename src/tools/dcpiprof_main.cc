@@ -56,6 +56,11 @@ int main(int argc, char** argv) {
     }
     inputs.push_back(input);
   }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "no CYCLES profiles for the given images in epoch %u of %s\n",
+                 epoch, argv[arg]);
+    return 1;
+  }
   if (by_image) {
     std::fputs(FormatImageListing(ListImages(inputs)).c_str(), stdout);
   } else {

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ProcedureSamples> sets;
+  size_t profiles_read = 0;
   for (uint32_t epoch : epochs) {
     std::deque<ImageProfile> storage;
     std::vector<ProfInput> inputs;
@@ -65,12 +66,18 @@ int main(int argc, char** argv) {
       if (!cycles.ok()) continue;
       storage.push_back(std::move(cycles.value()));
       inputs.push_back({image, &storage.back(), nullptr});
+      ++profiles_read;
     }
     ProcedureSamples samples;
     for (const ProcedureRow& row : ListProcedures(inputs)) {
       samples[row.procedure] += row.cycles_samples;
     }
     sets.push_back(std::move(samples));
+  }
+  if (profiles_read == 0) {
+    std::fprintf(stderr, "no CYCLES profiles for the given images in any requested epoch of %s\n",
+                 argv[1]);
+    return 1;
   }
   std::fputs(FormatStats(sets, ComputeStats(sets)).c_str(), stdout);
   return 0;

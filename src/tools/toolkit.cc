@@ -1,5 +1,7 @@
 #include "src/tools/toolkit.h"
 
+#include "src/check/selfcheck.h"
+
 namespace dcpi {
 
 std::vector<ProfInput> GatherProfInputs(System& system, EventType secondary) {
@@ -38,7 +40,7 @@ Result<ProcedureAnalysis> AnalyzeFromSystem(System& system, const ExecutableImag
   if (cycles == nullptr) {
     return NotFound("no CYCLES profile for " + image.name());
   }
-  return AnalyzeProcedure(
+  return AnalyzeProcedureChecked(
       image, *proc, *cycles,
       system.daemon()->FindProfile(image.name(), EventType::kImiss),
       system.daemon()->FindProfile(image.name(), EventType::kDmiss),

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/check/image_lint.h"
 #include "src/isa/assembler.h"
 
 namespace dcpi {
@@ -845,6 +846,16 @@ std::shared_ptr<ExecutableImage> WorkloadFactory::Build(const std::string& name,
   if (!image.ok()) {
     std::fprintf(stderr, "workload %s failed to assemble: %s\n", name.c_str(),
                  image.status().ToString().c_str());
+    std::abort();
+  }
+  // Fail fast on a broken workload (bad branch target, never-written
+  // register, fallthrough off the procedure end) instead of letting a run
+  // produce profiles the analysis then faithfully misattributes.
+  CheckReport lint;
+  LintImage(*image.value(), &lint);
+  if (!lint.ok()) {
+    std::fprintf(stderr, "workload %s failed the image lint:\n%s", name.c_str(),
+                 lint.ToString().c_str());
     std::abort();
   }
   return image.value();

@@ -1,0 +1,90 @@
+// Exit-code contract for the CLI tools: 0 on success, 1 on analysis or
+// database failure, 2 on usage errors. Exercised by exec'ing the real
+// binaries (DCPI_BIN_DIR is injected by CMake) against an empty database.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace dcpi {
+namespace {
+
+// Runs a tool from the build's binary directory and returns its exit code
+// (-1 if it did not exit normally). Output is discarded.
+int RunTool(const std::string& args) {
+  std::string command =
+      std::string(DCPI_BIN_DIR) + "/" + args + " > /dev/null 2>&1";
+  int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+class CliExitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = "/tmp/dcpi_cli_exit_test";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(CliExitTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunTool("dcpiprof"), 2);
+  EXPECT_EQ(RunTool("dcpicalc"), 2);
+  EXPECT_EQ(RunTool("dcpistats"), 2);
+  EXPECT_EQ(RunTool("dcpidiff"), 2);
+  EXPECT_EQ(RunTool("dcpicheck"), 2);
+  EXPECT_EQ(RunTool("dcpi_sim"), 2);
+  EXPECT_EQ(RunTool("dcpi_sim no_such_workload " + root_), 2);
+  EXPECT_EQ(RunTool("dcpicalc --bogus-flag a b c d"), 2);
+}
+
+TEST_F(CliExitTest, MissingInputsExitOne) {
+  // A nonexistent image file fails the load in every tool.
+  const std::string missing = root_ + "/missing.img";
+  EXPECT_EQ(RunTool("dcpiprof " + root_ + "/db 0 " + missing), 1);
+  EXPECT_EQ(RunTool("dcpicalc " + root_ + "/db 0 " + missing + " main"), 1);
+  EXPECT_EQ(RunTool("dcpidiff " + root_ + "/db 0 1 " + missing), 1);
+  EXPECT_EQ(RunTool("dcpistats " + root_ + "/db 0 1 -- " + missing), 1);
+  EXPECT_EQ(RunTool("dcpicheck " + root_ + "/db 0 " + missing), 1);
+}
+
+TEST_F(CliExitTest, EmptyDatabaseExitsOneAndFullPipelineExitsZero) {
+  // End to end: simulate the copy workload, then run every reader over the
+  // database it wrote — and over an epoch that has no profiles.
+  ASSERT_EQ(RunTool("dcpi_sim copy " + root_ + " cycles 0.25"), 0);
+  const std::string db = root_ + "/db";
+  std::string all_images;  // every serialized image, order-independent
+  std::string image;       // any one of them
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_ + "/images")) {
+    image = entry.path().string();
+    all_images += " " + image;
+  }
+  ASSERT_FALSE(image.empty());
+
+  // Find the epoch the run wrote (highest-numbered epoch directory).
+  int epoch = -1;
+  for (const auto& entry : std::filesystem::directory_iterator(db)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("epoch_", 0) == 0) {
+      epoch = std::max(epoch, std::atoi(name.c_str() + 6));
+    }
+  }
+  ASSERT_GE(epoch, 0);
+  const std::string e = std::to_string(epoch);
+
+  EXPECT_EQ(RunTool("dcpiprof " + db + " " + e + all_images), 0);
+  // An epoch with no profiles is a failure, not an empty report.
+  EXPECT_EQ(RunTool("dcpiprof " + db + " 9999 " + image), 1);
+  EXPECT_EQ(RunTool("dcpidiff " + db + " 9999 9998 " + image), 1);
+  EXPECT_EQ(RunTool("dcpistats " + db + " 9999 9998 -- " + image), 1);
+  EXPECT_EQ(RunTool("dcpicalc " + db + " 9999 " + image + " no_such_proc"), 1);
+}
+
+}  // namespace
+}  // namespace dcpi

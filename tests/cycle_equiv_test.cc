@@ -1,63 +1,23 @@
 // Cycle-equivalence tests: hand-built graphs with known classes plus a
-// property test comparing the bracket-list algorithm against a brute-force
-// cut-pair oracle on random connected multigraphs.
+// property test comparing the bracket-list algorithm against the shared
+// brute-force cut-pair oracle (src/check) on random connected multigraphs
+// from the shared generator (tests/testgen.h).
 
 #include <gtest/gtest.h>
 
-#include <numeric>
-#include <set>
-
 #include "src/analysis/cycle_equiv.h"
+#include "src/check/cycle_equiv_oracle.h"
 #include "src/support/rng.h"
+#include "tests/testgen.h"
 
 namespace dcpi {
 namespace {
 
 using Edges = std::vector<std::pair<int, int>>;
 
-// Union-find for the brute-force oracle.
-struct Dsu {
-  std::vector<int> parent;
-  explicit Dsu(int n) : parent(n) { std::iota(parent.begin(), parent.end(), 0); }
-  int Find(int x) { return parent[x] == x ? x : parent[x] = Find(parent[x]); }
-  void Union(int a, int b) { parent[Find(a)] = Find(b); }
-};
-
-int NumComponents(int n, const Edges& edges, int skip1, int skip2) {
-  Dsu dsu(n);
-  for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
-    if (e == skip1 || e == skip2) continue;
-    dsu.Union(edges[e].first, edges[e].second);
-  }
-  std::set<int> roots;
-  for (int v = 0; v < n; ++v) roots.insert(dsu.Find(v));
-  return static_cast<int>(roots.size());
-}
-
-// Brute-force cycle equivalence for a connected graph:
-//  - a bridge (or self-loop) is in a singleton class;
-//  - two non-bridge edges are equivalent iff removing both disconnects.
-std::vector<std::vector<bool>> BruteForceEquivalent(int n, const Edges& edges) {
-  int m = static_cast<int>(edges.size());
-  std::vector<bool> bridge(m);
-  for (int e = 0; e < m; ++e) {
-    bridge[e] = edges[e].first != edges[e].second && NumComponents(n, edges, e, -1) > 1;
-  }
-  std::vector<std::vector<bool>> eq(m, std::vector<bool>(m, false));
-  for (int a = 0; a < m; ++a) {
-    eq[a][a] = true;
-    for (int b = a + 1; b < m; ++b) {
-      if (bridge[a] || bridge[b]) continue;
-      if (edges[a].first == edges[a].second || edges[b].first == edges[b].second) continue;
-      if (NumComponents(n, edges, a, b) > 1) eq[a][b] = eq[b][a] = true;
-    }
-  }
-  return eq;
-}
-
 void ExpectMatchesBruteForce(int n, const Edges& edges, const std::string& label) {
   std::vector<int> classes = CycleEquivalence(n, edges);
-  auto oracle = BruteForceEquivalent(n, edges);
+  auto oracle = BruteForceCycleEquivalence(n, edges);
   for (size_t a = 0; a < edges.size(); ++a) {
     for (size_t b = 0; b < edges.size(); ++b) {
       EXPECT_EQ(classes[a] == classes[b], oracle[a][b])
@@ -140,20 +100,11 @@ TEST(CycleEquivalence, NestedLoopsMatchOracle) {
 // Property test: random connected multigraphs vs the oracle.
 TEST(CycleEquivalenceProperty, RandomGraphsMatchBruteForce) {
   SplitMix64 rng(0xc0ffee);
-  for (int trial = 0; trial < 300; ++trial) {
-    int n = 2 + static_cast<int>(rng.NextBelow(7));
-    Edges edges;
-    // Random spanning tree first (guarantees connectivity).
-    for (int v = 1; v < n; ++v) {
-      edges.push_back({static_cast<int>(rng.NextBelow(v)), v});
-    }
-    int extra = static_cast<int>(rng.NextBelow(6));
-    for (int e = 0; e < extra; ++e) {
-      int u = static_cast<int>(rng.NextBelow(n));
-      int v = static_cast<int>(rng.NextBelow(n));
-      edges.push_back({u, v});
-    }
-    ExpectMatchesBruteForce(n, edges, "random trial " + std::to_string(trial));
+  const int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    testgen::RandomGraph graph = testgen::RandomMultigraph(rng, trial, kTrials);
+    ExpectMatchesBruteForce(graph.num_nodes, graph.edges,
+                            "random trial " + std::to_string(trial));
     if (::testing::Test::HasFailure()) break;
   }
 }

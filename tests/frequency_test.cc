@@ -6,6 +6,8 @@
 
 #include "src/analysis/analyzer.h"
 #include "src/isa/assembler.h"
+#include "src/support/rng.h"
+#include "tests/testgen.h"
 
 namespace dcpi {
 namespace {
@@ -165,6 +167,61 @@ TEST(FrequencyEstimation, OutlierStallDoesNotInflateEstimate) {
   FrequencyResult result =
       EstimateFrequencies(built.cfg, built.schedules, samples, period);
   EXPECT_NEAR(result.block_freq[head], 2000 * period, 2000 * period * 0.15);
+}
+
+// Property test over the shared random-procedure generator: a block with a
+// single in-edge (or a single out-edge) forms a series pair with that edge
+// in the node-split equivalence graph, so the two must land in the same
+// cycle-equivalence class. Restricted to blocks the entry reaches — a dead
+// block's edges are bridges, which are singleton classes by definition.
+TEST(FrequencyProperty, SoleInOrOutEdgeSharesTheBlockClass) {
+  SplitMix64 rng(0xf00d);
+  const int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int num_blocks = 2 + static_cast<int>(rng.NextBelow(
+                             testgen::Ramp(trial, kTrials, 1, 7)));
+    std::string source = testgen::RandomProcedureSource(rng, num_blocks, "rnd");
+    Built built = BuildFor(source.c_str(), "rnd");
+    size_t n = (built.cfg.proc_end() - built.cfg.proc_start()) / kInstrBytes;
+    FrequencyResult result = EstimateFrequencies(
+        built.cfg, built.schedules, std::vector<uint64_t>(n, 5), 100.0);
+
+    std::vector<bool> reachable(built.cfg.blocks().size(), false);
+    std::vector<int> worklist;
+    for (int e : built.cfg.EntryEdges()) {
+      int to = built.cfg.edges()[e].to;
+      if (to >= 0 && !reachable[to]) {
+        reachable[to] = true;
+        worklist.push_back(to);
+      }
+    }
+    while (!worklist.empty()) {
+      int b = worklist.back();
+      worklist.pop_back();
+      for (int e : built.cfg.blocks()[b].out_edges) {
+        int to = built.cfg.edges()[e].to;
+        if (to >= 0 && !reachable[to]) {
+          reachable[to] = true;
+          worklist.push_back(to);
+        }
+      }
+    }
+    for (size_t b = 0; b < built.cfg.blocks().size(); ++b) {
+      if (!reachable[b]) continue;
+      const BasicBlock& block = built.cfg.blocks()[b];
+      if (block.in_edges.size() == 1) {
+        EXPECT_EQ(result.block_class[b], result.edge_class[block.in_edges[0]])
+            << "trial " << trial << " block " << b << " in-edge\n"
+            << source;
+      }
+      if (block.out_edges.size() == 1) {
+        EXPECT_EQ(result.block_class[b], result.edge_class[block.out_edges[0]])
+            << "trial " << trial << " block " << b << " out-edge\n"
+            << source;
+      }
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 }  // namespace
