@@ -16,12 +16,16 @@
 # warning in them fails the build and therefore this script.
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only] [--fast] [--lint]
+#                         [--bench-smoke]
 #   --fast runs only the concurrency-relevant tests under TSan and the
 #   crash/corruption/durability tests under ASan (the full suites are slow
 #   on small hosts).
 #   --lint additionally runs clang-tidy (config in .clang-tidy) over the
 #   compile-commands database. Skipped with a notice when clang-tidy is not
 #   installed, so the gate stays usable on minimal containers.
+#   --bench-smoke additionally runs bench_analysis_scaling --smoke in each
+#   sanitized build, so the parallel analysis engine and its result cache
+#   are exercised end-to-end under TSan/ASan (tiny sizes, perf gates off).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,12 +35,14 @@ RUN_TSAN=1
 RUN_ASAN=1
 FAST=0
 LINT=0
+BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --tsan-only) RUN_ASAN=0 ;;
     --asan-only) RUN_TSAN=0 ;;
     --fast) FAST=1 ;;
     --lint) LINT=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -81,12 +87,16 @@ run_config() {
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi
+  if [[ "$BENCH_SMOKE" == 1 ]]; then
+    echo "=== bench smoke ($dir): analysis engine under sanitizers ==="
+    (cd "$dir" && ./bench/bench_analysis_scaling --smoke)
+  fi
 }
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched"
+    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine"
   fi
   run_config build-tsan "-fsanitize=thread -O1 -g -fno-omit-frame-pointer" "$TSAN_FILTER"
 fi
@@ -94,7 +104,7 @@ fi
 if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo"
+    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine"
   fi
   run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" "$ASAN_FILTER"
 fi

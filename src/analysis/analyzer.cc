@@ -96,7 +96,10 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
                                            const ImageProfile* dmiss,
                                            const ImageProfile* branchmp,
                                            const ImageProfile* dtbmiss,
-                                           const AnalysisConfig& config) {
+                                           const AnalysisConfig& config,
+                                           AnalysisScratch* scratch) {
+  AnalysisScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   ProcedureAnalysis analysis;
   analysis.proc_name = proc.name;
   Result<Cfg> cfg = Cfg::Build(image, proc);
@@ -107,8 +110,21 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
   const size_t num_instrs = (proc.end - proc.start) / kInstrBytes;
   PipelineModel model(config.pipeline);
 
+  // Dense per-procedure sample vectors: one ordered-map range walk per
+  // profile instead of a map lookup per instruction.
+  const uint64_t begin_off = image.PcToOffset(proc.start);
+  const uint64_t end_off = image.PcToOffset(proc.end);
+  std::vector<uint64_t>& samples = scratch->samples;
+  cycles.ExtractDense(begin_off, end_off, kInstrBytes, &samples);
+  const ImageProfile* event_profiles[4] = {imiss, dmiss, branchmp, dtbmiss};
+  for (int ev = 0; ev < 4; ++ev) {
+    if (event_profiles[ev] != nullptr) {
+      event_profiles[ev]->ExtractDense(begin_off, end_off, kInstrBytes,
+                                       &scratch->event_samples[ev]);
+    }
+  }
+
   // Per-instruction decode + samples.
-  std::vector<uint64_t> samples(num_instrs, 0);
   analysis.instructions.resize(num_instrs);
   for (size_t k = 0; k < num_instrs; ++k) {
     uint64_t pc = proc.start + k * kInstrBytes;
@@ -118,8 +134,7 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
     auto decoded = word ? Decode(*word) : std::nullopt;
     if (!decoded) return Internal("undecodable instruction in " + proc.name);
     ia.inst = *decoded;
-    ia.samples = cycles.SamplesAt(image.PcToOffset(pc));
-    samples[k] = ia.samples;
+    ia.samples = samples[k];
     ia.block = graph.BlockIndexFor(pc);
   }
 
@@ -127,7 +142,8 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
   analysis.schedules.resize(graph.blocks().size());
   for (size_t b = 0; b < graph.blocks().size(); ++b) {
     const BasicBlock& block = graph.blocks()[b];
-    std::vector<DecodedInst> block_instrs;
+    std::vector<DecodedInst>& block_instrs = scratch->block_instrs;
+    block_instrs.clear();
     size_t first = (block.start_pc - proc.start) / kInstrBytes;
     for (size_t k = 0; k < block.num_instructions(); ++k) {
       block_instrs.push_back(analysis.instructions[first + k].inst);
@@ -162,10 +178,15 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
   }
 
   // ---- Culprit identification ----
-  auto event_count = [&](const ImageProfile* profile, uint64_t pc) -> double {
+  // Event lookups index the dense per-procedure vectors extracted above.
+  // Every pc passed here is inside the procedure (culprit pcs come from
+  // the same basic block).
+  enum { kEvImiss = 0, kEvDmiss, kEvBranchMp, kEvDtbMiss };
+  auto event_count = [&](int which, uint64_t pc) -> double {
+    const ImageProfile* profile = event_profiles[which];
     if (profile == nullptr) return -1.0;  // event not monitored
-    return static_cast<double>(profile->SamplesAt(image.PcToOffset(pc))) *
-           profile->mean_period();
+    uint64_t count = scratch->event_samples[which][(pc - proc.start) / kInstrBytes];
+    return static_cast<double>(count) * profile->mean_period();
   };
 
   for (size_t k = 0; k < num_instrs; ++k) {
@@ -205,7 +226,7 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
       // IMISS samples place an upper bound on I-cache stall cycles, and an
       // optimistic lower bound (each observed miss costs at least a board
       // fill).
-      double imiss_events = event_count(imiss, ia.pc);
+      double imiss_events = event_count(kEvImiss, ia.pc);
       double stall_cycles_total = ia.dynamic_stall * ia.frequency;
       if (imiss_events >= 0) {
         double bound = imiss_events * static_cast<double>(config.max_fill_cycles);
@@ -243,9 +264,9 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
       }
     }
     if (dcache_candidate) {
-      double dmiss_events = event_count(dmiss, ia.dcache_culprit_pc != 0
-                                                   ? ia.dcache_culprit_pc
-                                                   : ia.pc);
+      double dmiss_events = event_count(kEvDmiss, ia.dcache_culprit_pc != 0
+                                                      ? ia.dcache_culprit_pc
+                                                      : ia.pc);
       if (dmiss_events >= 0) {
         double bound = dmiss_events * static_cast<double>(config.max_fill_cycles);
         if (bound < 0.05 * ia.dynamic_stall * ia.frequency) dcache_candidate = false;
@@ -257,7 +278,7 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
     bool dtb_candidate =
         ia.inst.IsLoad() || ia.inst.IsStore() || ia.dcache_culprit_pc != 0;
     if (dtb_candidate) {
-      double dtb_events = event_count(dtbmiss, ia.pc);
+      double dtb_events = event_count(kEvDtbMiss, ia.pc);
       if (dtb_events >= 0 && dtb_events < 0.5) dtb_candidate = false;
     }
     ia.culprits[static_cast<int>(CulpritKind::kDtb)] = dtb_candidate;
@@ -287,7 +308,7 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
       }
     }
     if (mp_candidate) {
-      double mp_events = event_count(branchmp, ia.pc);
+      double mp_events = event_count(kEvBranchMp, ia.pc);
       if (mp_events >= 0) {
         double bound =
             mp_events * static_cast<double>(config.pipeline.mispredict_penalty) * 4;

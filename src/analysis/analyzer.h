@@ -118,9 +118,21 @@ struct ProcedureAnalysis {
   CheckReport selfcheck_report;
 };
 
+// Reusable per-thread working buffers for AnalyzeProcedure. A caller
+// analyzing many procedures (the AnalysisEngine) hands the same scratch to
+// every call on one thread, so the dense sample vectors and per-block
+// instruction buffer amortize their allocations across procedures instead
+// of growing from empty each time. Not thread-safe: one scratch per thread.
+struct AnalysisScratch {
+  std::vector<uint64_t> samples;           // dense CYCLES samples
+  std::vector<uint64_t> event_samples[4];  // imiss, dmiss, branchmp, dtbmiss
+  std::vector<DecodedInst> block_instrs;   // per-block schedule input
+};
+
 // Analyzes one procedure. `cycles` is required; the event profiles may be
 // null — absent event samples leave more culprits unruled, exactly like
-// the paper's pessimistic default (the Figure 2 DTB note).
+// the paper's pessimistic default (the Figure 2 DTB note). `scratch` is
+// optional; passing one across calls reuses its buffers.
 Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
                                            const ProcedureSymbol& proc,
                                            const ImageProfile& cycles,
@@ -128,7 +140,8 @@ Result<ProcedureAnalysis> AnalyzeProcedure(const ExecutableImage& image,
                                            const ImageProfile* dmiss,
                                            const ImageProfile* branchmp,
                                            const ImageProfile* dtbmiss,
-                                           const AnalysisConfig& config);
+                                           const AnalysisConfig& config,
+                                           AnalysisScratch* scratch = nullptr);
 
 }  // namespace dcpi
 

@@ -174,6 +174,17 @@ Result<Cfg> Cfg::Build(const ExecutableImage& image, const ProcedureSymbol& proc
   return cfg;
 }
 
+Cfg Cfg::FromParts(std::vector<BasicBlock> blocks, std::vector<CfgEdge> edges,
+                   bool missing_edges, uint64_t proc_start, uint64_t proc_end) {
+  Cfg cfg;
+  cfg.blocks_ = std::move(blocks);
+  cfg.edges_ = std::move(edges);
+  cfg.missing_edges_ = missing_edges;
+  cfg.proc_start_ = proc_start;
+  cfg.proc_end_ = proc_end;
+  return cfg;
+}
+
 int Cfg::BlockIndexFor(uint64_t pc) const {
   if (pc < proc_start_ || pc >= proc_end_) return -1;
   // Blocks are sorted by start_pc.

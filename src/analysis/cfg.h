@@ -43,6 +43,12 @@ class Cfg {
   // Builds the CFG of `proc` within `image`.
   static Result<Cfg> Build(const ExecutableImage& image, const ProcedureSymbol& proc);
 
+  // Reassembles a CFG from previously built parts (the analysis-cache
+  // deserializer). The parts must come from Build — no invariants are
+  // re-derived here.
+  static Cfg FromParts(std::vector<BasicBlock> blocks, std::vector<CfgEdge> edges,
+                       bool missing_edges, uint64_t proc_start, uint64_t proc_end);
+
   const std::vector<BasicBlock>& blocks() const { return blocks_; }
   const std::vector<CfgEdge>& edges() const { return edges_; }
   bool missing_edges() const { return missing_edges_; }

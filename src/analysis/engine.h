@@ -1,0 +1,139 @@
+// Parallel whole-epoch analysis engine with a content-addressed result
+// cache.
+//
+// The offline tools (dcpicalc, dcpicheck, dcpistats) analyze every
+// (image, procedure) pair of an epoch; the pairs are independent, so the
+// engine fans them across a work-stealing ThreadPool and collects results
+// into index-addressed slots. The reduction order is fixed by the input
+// order (images in the order given, procedures in symbol-table order), so
+// tool output is byte-identical regardless of --jobs.
+//
+// The cache is content-addressed: an entry's identity is
+//   (CRC32 of the serialized image, CRC32 over the serialized profile set,
+//    CRC32 fingerprint of the AnalysisConfig, procedure name/start/end),
+// so any change to the inputs or tuning produces a different key and a
+// clean miss — there is no invalidation protocol. Entries live as one file
+// per procedure under `EngineOptions::cache_dir`, carry the full key plus a
+// CRC32 trailer, and are ignored (recomputed and rewritten) when corrupt.
+
+#ifndef SRC_ANALYSIS_ENGINE_H_
+#define SRC_ANALYSIS_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/support/thread_pool.h"
+
+namespace dcpi {
+
+// One image of an epoch together with its per-event profiles. `cycles` is
+// required for analysis (procedures of an input without it get an error
+// result); the event profiles may be null, with the usual pessimistic
+// effect on culprit pruning. The profile pointers must outlive the engine
+// calls; they are not owned.
+struct AnalysisInput {
+  std::shared_ptr<const ExecutableImage> image;
+  const ImageProfile* cycles = nullptr;
+  const ImageProfile* imiss = nullptr;
+  const ImageProfile* dmiss = nullptr;
+  const ImageProfile* branchmp = nullptr;
+  const ImageProfile* dtbmiss = nullptr;
+};
+
+// The per-procedure analysis callback. Defaults to AnalyzeProcedure;
+// dcpicheck and dcpicalc pass AnalyzeProcedureChecked (the engine cannot
+// name it directly: src/check links against src/analysis, not vice versa).
+// Must be thread-safe for distinct procedures.
+using AnalyzeFn = std::function<Result<ProcedureAnalysis>(
+    const ExecutableImage&, const ProcedureSymbol&, const ImageProfile&,
+    const ImageProfile*, const ImageProfile*, const ImageProfile*,
+    const ImageProfile*, const AnalysisConfig&, AnalysisScratch*)>;
+
+struct EngineOptions {
+  int jobs = 0;           // worker threads; <1 = hardware concurrency
+  std::string cache_dir;  // result-cache directory; empty disables caching
+  AnalyzeFn analyze;      // null = AnalyzeProcedure
+};
+
+struct ProcedureResult {
+  std::string image_name;
+  ProcedureSymbol proc;
+  Status status;              // per-procedure failure (analysis is empty)
+  ProcedureAnalysis analysis; // valid when status.ok()
+  bool from_cache = false;
+};
+
+struct EpochAnalysis {
+  // One entry per (image, procedure) pair, in input order then
+  // symbol-table order — identical for every jobs count.
+  std::vector<ProcedureResult> procedures;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;  // analyzed fresh (missing or corrupt entry)
+};
+
+class AnalysisEngine {
+ public:
+  explicit AnalysisEngine(EngineOptions options = EngineOptions());
+
+  // Analyzes every procedure of every input. Results appear in
+  // deterministic order (see EpochAnalysis); per-procedure failures are
+  // recorded in ProcedureResult::status, not returned.
+  EpochAnalysis AnalyzeAll(const std::vector<AnalysisInput>& inputs,
+                           const AnalysisConfig& config);
+
+  // Analyzes a single procedure through the same cache.
+  ProcedureResult AnalyzeOne(const AnalysisInput& input,
+                             const ProcedureSymbol& proc,
+                             const AnalysisConfig& config);
+
+  int jobs() const { return pool_.num_threads(); }
+
+ private:
+  void RunOne(const AnalysisInput& input, const ProcedureSymbol& proc,
+              const AnalysisConfig& config, uint32_t image_crc,
+              uint32_t profiles_crc, uint32_t config_fp,
+              AnalysisScratch* scratch, ProcedureResult* out);
+
+  EngineOptions options_;
+  ThreadPool pool_;
+};
+
+// ---- Cache-key pieces (exposed for tests and tools) ----
+
+// CRC32 of the canonical image serialization: the image content hash.
+uint32_t ImageContentCrc(const ExecutableImage& image);
+
+// Chained CRC32 over the input's profile set (all five event slots, with
+// presence markers so "no DMISS profile" differs from an empty one).
+uint32_t ProfileSetCrc(const AnalysisInput& input);
+
+// CRC32 over every analysis-affecting AnalysisConfig field (pipeline
+// latencies, fill costs, tuning, selfcheck flag, ...).
+uint32_t ConfigFingerprint(const AnalysisConfig& config);
+
+// The cache file for a key, under `cache_dir`.
+std::string CacheEntryPath(const std::string& cache_dir, uint32_t image_crc,
+                           uint32_t profiles_crc, uint32_t config_fp,
+                           const ProcedureSymbol& proc);
+
+// ---- Cache-entry payload (exposed for tests) ----
+//
+// The payload stores everything in a ProcedureAnalysis except the decoded
+// instruction words, which are re-decoded from the image on load (they are
+// pure functions of the image text, and the key already covers it).
+std::vector<uint8_t> SerializeProcedureAnalysis(const ProcedureAnalysis& analysis);
+Result<ProcedureAnalysis> DeserializeProcedureAnalysis(const uint8_t* data,
+                                                       size_t size,
+                                                       const ExecutableImage& image);
+inline Result<ProcedureAnalysis> DeserializeProcedureAnalysis(
+    const std::vector<uint8_t>& bytes, const ExecutableImage& image) {
+  return DeserializeProcedureAnalysis(bytes.data(), bytes.size(), image);
+}
+
+}  // namespace dcpi
+
+#endif  // SRC_ANALYSIS_ENGINE_H_

@@ -140,8 +140,9 @@ FrequencyResult EstimateFrequencies(const Cfg& cfg,
 
   // ---- Equivalence classes via the node-split graph ----
   if (!cfg.missing_edges()) {
-    EquivalenceGraph graph = BuildEquivalenceGraph(cfg);
-    std::vector<int> classes = CycleEquivalence(graph.num_vertices, graph.edges);
+    result.graph = BuildEquivalenceGraph(cfg);
+    std::vector<int> classes =
+        CycleEquivalence(result.graph.num_vertices, result.graph.edges);
     for (int b = 0; b < num_blocks; ++b) result.block_class[b] = classes[b];
     for (int e = 0; e < num_edges; ++e) result.edge_class[e] = classes[num_blocks + e];
   } else {

@@ -66,6 +66,11 @@ struct FrequencyResult {
   // Equivalence classes (exposed for tests and tools).
   std::vector<int> block_class;
   std::vector<int> edge_class;
+  // The node-split graph the classes were computed on, kept so downstream
+  // passes (the differential cycle-equivalence selfcheck) reuse it instead
+  // of rebuilding. Empty (num_vertices == 0) when the CFG has missing
+  // edges (no graph was built) or the result predates the estimator.
+  EquivalenceGraph graph;
 };
 
 // `samples[k]` holds the CYCLES sample count of the k-th instruction of the

@@ -135,7 +135,13 @@ bool CheckCfgCycleEquivalence(const Cfg& cfg, const FrequencyResult& freq,
     return true;
   }
 
-  EquivalenceGraph graph = BuildEquivalenceGraph(cfg);
+  // Reuse the node-split graph the estimator already built (it is part of
+  // the FrequencyResult precisely so this pass does not rebuild it); fall
+  // back to building one for results produced without the estimator.
+  const bool have_graph = freq.graph.num_vertices > 0;
+  EquivalenceGraph rebuilt;
+  if (!have_graph) rebuilt = BuildEquivalenceGraph(cfg);
+  const EquivalenceGraph& graph = have_graph ? freq.graph : rebuilt;
   if (graph.edges.size() > max_edges) {
     report->AddViolation(CheckPass::kCycleEquiv, CheckSeverity::kWarning,
                          "equivalence graph has " +

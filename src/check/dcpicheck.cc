@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 
+#include "src/analysis/engine.h"
 #include "src/check/selfcheck.h"
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
@@ -19,59 +21,110 @@ std::optional<ImageProfile> MaybeProfile(ProfileDatabase& db, uint32_t epoch,
   return std::move(profile.value());
 }
 
+// Per-image-file state gathered before the parallel analysis: the loaded
+// image, its profiles, and the violations (load errors, lint findings,
+// missing-CYCLES warnings) that must precede its procedure reports.
+struct ImageEntry {
+  CheckReport pre;
+  std::shared_ptr<ExecutableImage> image;  // null if the file did not load
+  std::optional<ImageProfile> cycles, imiss, dmiss, branchmp, dtbmiss;
+};
+
 }  // namespace
 
 CheckReport RunDcpicheck(const DcpicheckOptions& options) {
-  CheckReport report;
   ProfileDatabase db(options.db_root);
   AnalysisConfig config = options.analysis;
   config.selfcheck = true;
 
+  // Load, lint, and gather profiles serially (cheap); the entries are
+  // heap-allocated so the AnalysisInput profile pointers stay stable.
+  std::vector<std::unique_ptr<ImageEntry>> entries;
   for (const std::string& file : options.image_files) {
+    auto entry = std::make_unique<ImageEntry>();
     Result<std::shared_ptr<ExecutableImage>> loaded = LoadImage(file);
     if (!loaded.ok()) {
-      report.AddViolation(CheckPass::kInput, CheckSeverity::kError,
-                          "cannot load image " + file + ": " +
-                              loaded.status().ToString());
+      entry->pre.AddViolation(CheckPass::kInput, CheckSeverity::kError,
+                              "cannot load image " + file + ": " +
+                                  loaded.status().ToString());
+      entries.push_back(std::move(entry));
       continue;
     }
-    const ExecutableImage& image = *loaded.value();
-    LintImage(image, &report, options.lint);
+    entry->image = loaded.value();
+    const ExecutableImage& image = *entry->image;
+    LintImage(image, &entry->pre, options.lint);
 
-    std::optional<ImageProfile> cycles =
-        MaybeProfile(db, options.epoch, image.name(), EventType::kCycles);
-    if (!cycles.has_value()) {
-      CheckViolation& v = report.AddViolation(
+    entry->cycles = MaybeProfile(db, options.epoch, image.name(), EventType::kCycles);
+    if (!entry->cycles.has_value()) {
+      CheckViolation& v = entry->pre.AddViolation(
           CheckPass::kInput, CheckSeverity::kWarning,
           "no CYCLES profile in epoch " + std::to_string(options.epoch) +
               "; analysis passes skipped");
       v.image = image.name();
+      entries.push_back(std::move(entry));
       continue;
     }
-    std::optional<ImageProfile> imiss =
-        MaybeProfile(db, options.epoch, image.name(), EventType::kImiss);
-    std::optional<ImageProfile> dmiss =
-        MaybeProfile(db, options.epoch, image.name(), EventType::kDmiss);
-    std::optional<ImageProfile> branchmp =
+    entry->imiss = MaybeProfile(db, options.epoch, image.name(), EventType::kImiss);
+    entry->dmiss = MaybeProfile(db, options.epoch, image.name(), EventType::kDmiss);
+    entry->branchmp =
         MaybeProfile(db, options.epoch, image.name(), EventType::kBranchMp);
-    std::optional<ImageProfile> dtbmiss =
+    entry->dtbmiss =
         MaybeProfile(db, options.epoch, image.name(), EventType::kDtbMiss);
+    entries.push_back(std::move(entry));
+  }
 
-    for (const ProcedureSymbol& proc : image.procedures()) {
-      Result<ProcedureAnalysis> analysis = AnalyzeProcedureChecked(
-          image, proc, *cycles, imiss.has_value() ? &*imiss : nullptr,
-          dmiss.has_value() ? &*dmiss : nullptr,
-          branchmp.has_value() ? &*branchmp : nullptr,
-          dtbmiss.has_value() ? &*dtbmiss : nullptr, config);
-      if (!analysis.ok()) {
+  // Fan the per-procedure analyses (with selfcheck passes) over the engine.
+  EngineOptions engine_options;
+  engine_options.jobs = options.jobs;
+  if (options.use_cache) {
+    engine_options.cache_dir =
+        options.db_root + "/epoch_" + std::to_string(options.epoch) + "/.cache";
+  }
+  engine_options.analyze = [](const ExecutableImage& image,
+                              const ProcedureSymbol& proc,
+                              const ImageProfile& cycles, const ImageProfile* imiss,
+                              const ImageProfile* dmiss, const ImageProfile* branchmp,
+                              const ImageProfile* dtbmiss,
+                              const AnalysisConfig& analysis_config,
+                              AnalysisScratch* scratch) {
+    return AnalyzeProcedureChecked(image, proc, cycles, imiss, dmiss, branchmp,
+                                   dtbmiss, analysis_config, scratch);
+  };
+  AnalysisEngine engine(std::move(engine_options));
+
+  std::vector<AnalysisInput> inputs;
+  for (const auto& entry : entries) {
+    if (!entry->image || !entry->cycles.has_value()) continue;
+    AnalysisInput input;
+    input.image = entry->image;
+    input.cycles = &*entry->cycles;
+    if (entry->imiss) input.imiss = &*entry->imiss;
+    if (entry->dmiss) input.dmiss = &*entry->dmiss;
+    if (entry->branchmp) input.branchmp = &*entry->branchmp;
+    if (entry->dtbmiss) input.dtbmiss = &*entry->dtbmiss;
+    inputs.push_back(std::move(input));
+  }
+  EpochAnalysis epoch = engine.AnalyzeAll(inputs, config);
+
+  // Ordered reduction: results come back grouped by input in submission
+  // order, so the merged report is identical to the serial tool's for any
+  // jobs count.
+  CheckReport report;
+  size_t next_result = 0;
+  for (const auto& entry : entries) {
+    for (const CheckViolation& v : entry->pre.violations()) report.Add(v);
+    if (!entry->image || !entry->cycles.has_value()) continue;
+    for (size_t p = 0; p < entry->image->procedures().size(); ++p) {
+      const ProcedureResult& result = epoch.procedures[next_result++];
+      if (!result.status.ok()) {
         CheckViolation& v = report.AddViolation(
             CheckPass::kInput, CheckSeverity::kError,
-            "analysis failed: " + analysis.status().ToString());
-        v.image = image.name();
-        v.proc = proc.name;
+            "analysis failed: " + result.status.ToString());
+        v.image = result.image_name;
+        v.proc = result.proc.name;
         continue;
       }
-      report.Merge(analysis.value().selfcheck_report);
+      report.Merge(result.analysis.selfcheck_report);
     }
   }
   return report;

@@ -27,6 +27,11 @@ struct DcpicheckOptions {
   std::vector<std::string> image_files;
   ImageLintOptions lint;
   AnalysisConfig analysis;
+  // Analysis-engine knobs: worker threads (<1 = hardware concurrency) and
+  // the content-addressed result cache under <db>/epoch_<N>/.cache. The
+  // report is byte-identical for any jobs count and for cold/warm cache.
+  int jobs = 0;
+  bool use_cache = true;
 };
 
 CheckReport RunDcpicheck(const DcpicheckOptions& options);

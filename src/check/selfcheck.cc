@@ -29,9 +29,10 @@ Result<ProcedureAnalysis> AnalyzeProcedureChecked(
     const ExecutableImage& image, const ProcedureSymbol& proc,
     const ImageProfile& cycles, const ImageProfile* imiss,
     const ImageProfile* dmiss, const ImageProfile* branchmp,
-    const ImageProfile* dtbmiss, const AnalysisConfig& config) {
+    const ImageProfile* dtbmiss, const AnalysisConfig& config,
+    AnalysisScratch* scratch) {
   Result<ProcedureAnalysis> result = AnalyzeProcedure(
-      image, proc, cycles, imiss, dmiss, branchmp, dtbmiss, config);
+      image, proc, cycles, imiss, dmiss, branchmp, dtbmiss, config, scratch);
   if (!result.ok() || !config.selfcheck) return result;
   VerifyAnalysis(image, proc, result.value(), cycles.mean_period(),
                  &result.value().selfcheck_report);

@@ -19,7 +19,8 @@ Result<ProcedureAnalysis> AnalyzeProcedureChecked(
     const ExecutableImage& image, const ProcedureSymbol& proc,
     const ImageProfile& cycles, const ImageProfile* imiss,
     const ImageProfile* dmiss, const ImageProfile* branchmp,
-    const ImageProfile* dtbmiss, const AnalysisConfig& config);
+    const ImageProfile* dtbmiss, const AnalysisConfig& config,
+    AnalysisScratch* scratch = nullptr);
 
 // Runs passes 2-5 over an already-computed analysis; appends to `report`.
 // Returns true if no *error* was appended (warnings allowed).

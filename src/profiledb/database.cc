@@ -194,6 +194,10 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
   std::error_code ec;
   std::filesystem::directory_iterator root_it(root_, ec);
   if (ec) return report;
+  // directory_iterator order is unspecified; sort epochs numerically and
+  // files by name so the scan (and the quarantine it performs) is stable
+  // across filesystems and runs.
+  std::vector<std::pair<uint32_t, std::filesystem::path>> epochs;
   for (const auto& epoch_entry : root_it) {
     if (!epoch_entry.is_directory()) continue;
     std::string dir_name = epoch_entry.path().filename().string();
@@ -208,22 +212,31 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
       epoch = epoch * 10 + static_cast<uint32_t>(dir_name[i] - '0');
     }
     if (!numeric) continue;
+    epochs.emplace_back(epoch, epoch_entry.path());
+  }
+  std::sort(epochs.begin(), epochs.end());
+  for (const auto& [epoch, epoch_path] : epochs) {
     any_epoch = true;
     max_epoch = std::max(max_epoch, epoch);
     ++report.epochs_found;
 
     std::error_code dir_ec;
-    std::filesystem::directory_iterator files(epoch_entry.path(), dir_ec);
+    std::filesystem::directory_iterator files(epoch_path, dir_ec);
     if (dir_ec) continue;
+    std::vector<std::filesystem::path> file_paths;
     for (const auto& file : files) {
       if (!file.is_regular_file()) continue;
-      std::string file_name = file.path().filename().string();
+      file_paths.push_back(file.path());
+    }
+    std::sort(file_paths.begin(), file_paths.end());
+    for (const auto& file_path : file_paths) {
+      std::string file_name = file_path.filename().string();
       auto quarantine = [&] {
         std::error_code q_ec;
-        std::filesystem::path q_dir = epoch_entry.path() / ".quarantine";
+        std::filesystem::path q_dir = epoch_path / ".quarantine";
         std::filesystem::create_directories(q_dir, q_ec);
-        std::filesystem::rename(file.path(), q_dir / file_name, q_ec);
-        if (q_ec) std::filesystem::remove(file.path(), q_ec);
+        std::filesystem::rename(file_path, q_dir / file_name, q_ec);
+        if (q_ec) std::filesystem::remove(file_path, q_ec);
         ++report.files_quarantined;
       };
       if (EndsWith(file_name, ".tmp")) {
@@ -235,7 +248,7 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
       if (!EndsWith(file_name, ".prof")) continue;
       ++report.files_checked;
       std::vector<uint8_t> bytes;
-      if (ReadFile(file.path().string(), &bytes).ok() &&
+      if (ReadFile(file_path.string(), &bytes).ok() &&
           DeserializeProfile(bytes).ok()) {
         ++report.files_recovered;
       } else {
@@ -339,6 +352,7 @@ Result<std::vector<std::string>> ProfileDatabase::ListProfiles(uint32_t epoch) c
     std::string name = entry.path().filename().string();
     if (EndsWith(name, ".prof")) names.push_back(name);
   }
+  std::sort(names.begin(), names.end());  // directory order is unspecified
   return names;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/cpu/event.h"
 
@@ -33,6 +34,22 @@ class ImageProfile {
   uint64_t SamplesAt(uint64_t offset) const {
     auto it = counts_.find(offset);
     return it == counts_.end() ? 0 : it->second;
+  }
+
+  // One-pass conversion of the offset range [begin, end) to a dense vector:
+  // out[(offset - begin) / stride] receives the samples at each stride-
+  // aligned offset. One ordered-map range walk instead of an O(log n)
+  // lookup per instruction — the analyzer's per-procedure hot path.
+  // Offsets in range but off the stride grid are dropped (they cannot name
+  // an instruction). `out` is assign()ed, so callers can reuse capacity.
+  void ExtractDense(uint64_t begin, uint64_t end, uint64_t stride,
+                    std::vector<uint64_t>* out) const {
+    out->assign(begin < end ? (end - begin + stride - 1) / stride : 0, 0);
+    for (auto it = counts_.lower_bound(begin); it != counts_.end() && it->first < end;
+         ++it) {
+      if ((it->first - begin) % stride != 0) continue;
+      (*out)[(it->first - begin) / stride] += it->second;
+    }
   }
 
   uint64_t total_samples() const;

@@ -1,0 +1,140 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace dcpi {
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = HardwareConcurrency();
+  queues_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    // The push must happen under mu_: workers decide to sleep while
+    // holding mu_, so a push outside it could land between their queue
+    // inspection and the block — a lost wakeup. Lock order is always
+    // mu_ then queue.mu.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+    size_t slot = next_queue_++ % queues_.size();
+    std::lock_guard<std::mutex> qlock(queues_[slot]->mu);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(int self) {
+  std::function<void()> task;
+  // Own queue first (newest task: still cache-warm), then steal the oldest
+  // task from a sibling.
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.back());
+      queues_[self]->tasks.pop_back();
+    }
+  }
+  if (!task) {
+    const size_t n = queues_.size();
+    for (size_t step = 1; step < n && !task; ++step) {
+      WorkerQueue& victim = *queues_[(self + step) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Hand the exception over by move and drop any unclaimed reference
+    // before notifying: Wait() may rethrow first_error_ the moment it
+    // wakes, and a reference still held here would make the exception
+    // object's refcount release race with that reader.
+    if (error && !first_error_) first_error_ = std::move(error);
+    error = nullptr;
+    if (--pending_ == 0) idle_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    // pending_ > 0 with empty queues means tasks are mid-run elsewhere;
+    // sleep until a new submission or shutdown.
+    wake_.wait(lock, [this] {
+      if (shutdown_) return true;
+      for (const auto& queue : queues_) {
+        std::lock_guard<std::mutex> qlock(queue->mu);
+        if (!queue->tasks.empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, int)>& body) {
+  if (n == 0) return;
+  // One runner per worker pulls indices off a shared atomic cursor: cheap
+  // dynamic load balancing with a single allocation, and the runner id
+  // doubles as a stable per-thread scratch slot.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  const size_t runners =
+      std::min(n, static_cast<size_t>(workers_.size()));
+  for (size_t r = 0; r < runners; ++r) {
+    Submit([cursor, n, r, &body] {
+      for (size_t i = (*cursor)++; i < n; i = (*cursor)++) {
+        body(i, static_cast<int>(r));
+      }
+    });
+  }
+  Wait();
+}
+
+}  // namespace dcpi

@@ -1,0 +1,86 @@
+// Reusable work-stealing thread pool for the offline analysis tools.
+//
+// The collection half of the system (driver/daemon) has its own threading
+// model tuned to the simulated machine; this pool serves the *offline*
+// half — dcpicheck/dcpicalc/dcpiprof/dcpistats fanning per-procedure
+// analysis across host cores (the "fast as the hardware allows" item for
+// the analysis suite).
+//
+// Design: each worker owns a deque guarded by a small mutex. Submitted
+// tasks are distributed round-robin; an idle worker first drains its own
+// deque (LIFO, cache-warm), then steals from its siblings (FIFO, oldest
+// first). Exceptions thrown by tasks are captured, not swallowed: the
+// first one is rethrown from Wait() / ParallelFor().
+
+#ifndef SRC_SUPPORT_THREAD_POOL_H_
+#define SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcpi {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; values < 1 (including the default 0)
+  // use HardwareConcurrency().
+  explicit ThreadPool(int num_threads = 0);
+
+  // Joins the workers. Pending tasks are still executed (destruction
+  // implies Wait minus the rethrow; call Wait() first to observe errors).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Host parallelism, never less than 1.
+  static int HardwareConcurrency();
+
+  // Enqueues a task. Safe to call from any thread, including from inside
+  // a running task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished, then rethrows the
+  // first exception any of them raised (clearing it for the next batch).
+  void Wait();
+
+  // Runs body(index, worker) for every index in [0, n), spread dynamically
+  // over the workers; blocks until done and rethrows the first task
+  // exception. `worker` is a dense slot in [0, num_threads()) stable for
+  // the duration of one body call — callers use it to index per-thread
+  // scratch state. Must not be called from inside a pool task.
+  void ParallelFor(size_t n, const std::function<void(size_t index, int worker)>& body);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int self);
+  bool TryRunOne(int self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards the counters + cv below
+  std::condition_variable wake_;   // workers wait here for tasks
+  std::condition_variable idle_;   // Wait() waits here for pending_ == 0
+  size_t pending_ = 0;             // submitted but not yet finished
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  size_t next_queue_ = 0;          // round-robin submission cursor
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_SUPPORT_THREAD_POOL_H_

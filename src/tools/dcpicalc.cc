@@ -1,6 +1,9 @@
 #include "src/tools/dcpicalc.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace dcpi {
 
@@ -28,6 +31,7 @@ std::string StaticStallLetter(StaticStallKind kind) {
 
 std::string FormatCalcListing(const ExecutableImage& image,
                               const ProcedureAnalysis& analysis) {
+  (void)image;  // kept for interface symmetry with the other formatters
   char buf[256];
   std::string out;
   double best = analysis.best_case_cpi;
@@ -35,9 +39,23 @@ std::string FormatCalcListing(const ExecutableImage& image,
   std::snprintf(buf, sizeof(buf), "*** Best-case %.2fCPI\n*** Actual    %.2fCPI\n\n",
                 best, actual);
   out += buf;
-  out += "Addr      Instruction                Samples    CPI     Culprit\n";
 
+  // Size the instruction column from the longest disassembly so a long
+  // operand list cannot push its samples/CPI columns out of line; 28 is
+  // the floor (the historical fixed width).
+  std::vector<std::string> disassembly;
+  disassembly.reserve(analysis.instructions.size());
+  int column = 28;
   for (const InstructionAnalysis& ia : analysis.instructions) {
+    disassembly.push_back(Disassemble(ia.inst, ia.pc));
+    column = std::max(column, static_cast<int>(disassembly.back().size()));
+  }
+  out += "Addr      Instruction";
+  out.append(static_cast<size_t>(column - 12), ' ');
+  out += "Samples    CPI     Culprit\n";
+
+  for (size_t i = 0; i < analysis.instructions.size(); ++i) {
+    const InstructionAnalysis& ia = analysis.instructions[i];
     // Bubble lines for dynamic culprits.
     if (ia.dynamic_stall >= 0.5) {
       std::string letters;
@@ -73,9 +91,9 @@ std::string FormatCalcListing(const ExecutableImage& image,
       std::snprintf(buf, sizeof(buf), "%.1fcy", ia.cpi);
       cpi_text = buf;
     }
-    std::snprintf(buf, sizeof(buf), "%06llx  %-28s %8llu  %-12s %s\n",
-                  static_cast<unsigned long long>(ia.pc),
-                  Disassemble(ia.inst, ia.pc).c_str(),
+    std::snprintf(buf, sizeof(buf), "%06llx  %-*s %8llu  %-12s %s\n",
+                  static_cast<unsigned long long>(ia.pc), column,
+                  disassembly[i].c_str(),
                   static_cast<unsigned long long>(ia.samples), cpi_text.c_str(),
                   culprit.c_str());
     out += buf;

@@ -1,16 +1,22 @@
 // dcpicalc CLI: instruction-level analysis of one procedure.
 //
 // Usage:
-//   dcpicalc [-s] [--selfcheck] <db_root> <epoch> <image_file> <procedure>
+//   dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache] <db_root> <epoch>
+//            <image_file> <procedure>
 //
 // Prints the Figure 2 style annotated listing; -s prints the Figure 4
 // style stall summary instead. --selfcheck additionally runs the src/check
 // verification passes over the analysis and fails (exit 1) on violations.
+// The analysis runs through the AnalysisEngine: results are cached under
+// <db_root>/epoch_<N>/.cache (content-addressed; --no-cache disables) and
+// --jobs sizes the worker pool shared with the other tools.
 
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <string>
 
+#include "src/analysis/engine.h"
 #include "src/check/selfcheck.h"
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
@@ -20,12 +26,18 @@ int main(int argc, char** argv) {
   using namespace dcpi;
   bool summary = false;
   bool selfcheck = false;
+  bool use_cache = true;
+  int jobs = 0;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     if (std::strcmp(argv[arg], "-s") == 0) {
       summary = true;
     } else if (std::strcmp(argv[arg], "--selfcheck") == 0) {
       selfcheck = true;
+    } else if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
+      jobs = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--no-cache") == 0) {
+      use_cache = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
       return 2;
@@ -34,8 +46,8 @@ int main(int argc, char** argv) {
   }
   if (argc - arg < 4) {
     std::fprintf(stderr,
-                 "usage: dcpicalc [-s] [--selfcheck] <db_root> <epoch> "
-                 "<image_file> <procedure>\n");
+                 "usage: dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache] "
+                 "<db_root> <epoch> <image_file> <procedure>\n");
     return 2;
   }
   ProfileDatabase db(argv[arg]);
@@ -64,20 +76,39 @@ int main(int argc, char** argv) {
 
   AnalysisConfig config;
   config.selfcheck = selfcheck;
-  Result<ProcedureAnalysis> analysis = AnalyzeProcedureChecked(
-      *image.value(), *proc, cycles.value(), imiss.has_value() ? &*imiss : nullptr,
-      nullptr, nullptr, nullptr, config);
-  if (!analysis.ok()) {
-    std::fprintf(stderr, "analysis failed: %s\n", analysis.status().ToString().c_str());
+
+  EngineOptions engine_options;
+  engine_options.jobs = jobs;
+  if (use_cache) {
+    engine_options.cache_dir =
+        std::string(argv[arg]) + "/epoch_" + std::to_string(epoch) + "/.cache";
+  }
+  engine_options.analyze =
+      [](const ExecutableImage& img, const ProcedureSymbol& p,
+         const ImageProfile& cyc, const ImageProfile* im, const ImageProfile* dm,
+         const ImageProfile* br, const ImageProfile* dtb,
+         const AnalysisConfig& cfg, AnalysisScratch* scratch) {
+        return AnalyzeProcedureChecked(img, p, cyc, im, dm, br, dtb, cfg, scratch);
+      };
+  AnalysisEngine engine(std::move(engine_options));
+
+  AnalysisInput input;
+  input.image = image.value();
+  input.cycles = &cycles.value();
+  if (imiss.has_value()) input.imiss = &*imiss;
+  ProcedureResult result = engine.AnalyzeOne(input, *proc, config);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n", result.status.ToString().c_str());
     return 1;
   }
+  const ProcedureAnalysis& analysis = result.analysis;
   if (summary) {
-    std::fputs(FormatStallSummary(analysis.value()).c_str(), stdout);
+    std::fputs(FormatStallSummary(analysis).c_str(), stdout);
   } else {
-    std::fputs(FormatCalcListing(*image.value(), analysis.value()).c_str(), stdout);
+    std::fputs(FormatCalcListing(*image.value(), analysis).c_str(), stdout);
   }
   if (selfcheck) {
-    const CheckReport& report = analysis.value().selfcheck_report;
+    const CheckReport& report = analysis.selfcheck_report;
     if (!report.empty()) std::fputs(report.ToString().c_str(), stderr);
     if (!report.ok()) return 1;
   }

@@ -1,28 +1,47 @@
 // dcpicheck CLI: static verification of a profile database + image set.
 //
 // Usage:
-//   dcpicheck <db_root> <epoch> <image_file>...
+//   dcpicheck [--jobs N] [--no-cache] <db_root> <epoch> <image_file>...
 //
 // Runs all five verification passes (image lint, CFG structure,
 // differential cycle equivalence, flow conservation, schedule invariants)
-// and prints a structured report. Exits 0 when no errors were found,
-// 1 on violations or unreadable inputs, 2 on usage errors.
+// and prints a structured report. Procedure analyses fan out over --jobs
+// worker threads (default: hardware concurrency) and are cached under
+// <db_root>/epoch_<N>/.cache keyed by image/profile/config content; the
+// report is byte-identical for any jobs count and cold or warm cache.
+// Exits 0 when no errors were found, 1 on violations or unreadable
+// inputs, 2 on usage errors.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/check/dcpicheck.h"
 
 int main(int argc, char** argv) {
   using namespace dcpi;
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: dcpicheck <db_root> <epoch> <image_file>...\n");
+  DcpicheckOptions options;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
+      options.jobs = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--no-cache") == 0) {
+      options.use_cache = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+      return 2;
+    }
+    ++arg;
+  }
+  if (argc - arg < 3) {
+    std::fprintf(stderr,
+                 "usage: dcpicheck [--jobs N] [--no-cache] <db_root> <epoch> "
+                 "<image_file>...\n");
     return 2;
   }
-  DcpicheckOptions options;
-  options.db_root = argv[1];
-  options.epoch = static_cast<uint32_t>(std::atoi(argv[2]));
-  for (int i = 3; i < argc; ++i) options.image_files.push_back(argv[i]);
+  options.db_root = argv[arg];
+  options.epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
+  for (int i = arg + 2; i < argc; ++i) options.image_files.push_back(argv[i]);
 
   CheckReport report = RunDcpicheck(options);
   std::fputs(report.ToString().c_str(), stdout);

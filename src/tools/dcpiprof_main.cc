@@ -1,59 +1,89 @@
 // dcpiprof CLI: procedure/image listings from an on-disk profile database.
 //
 // Usage:
-//   dcpiprof [-i] <db_root> <epoch> <image_file>...
+//   dcpiprof [-i] [--jobs N] <db_root> <epoch> <image_file>...
 //
 // Each image_file is a serialized ExecutableImage (see dcpi_sim, which
 // writes them next to the database). -i lists by image instead of by
-// procedure.
+// procedure. Image and profile loads fan out over --jobs worker threads
+// (default: hardware concurrency); the listing is assembled in input
+// order, so output is byte-identical for any jobs count.
 
 #include <cstdio>
 #include <cstring>
-#include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
+#include "src/support/thread_pool.h"
 #include "src/tools/dcpiprof.h"
 
 int main(int argc, char** argv) {
   using namespace dcpi;
   bool by_image = false;
+  int jobs = 0;
   int arg = 1;
-  if (arg < argc && std::strcmp(argv[arg], "-i") == 0) {
-    by_image = true;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "-i") == 0) {
+      by_image = true;
+    } else if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
+      jobs = std::atoi(argv[++arg]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+      return 2;
+    }
     ++arg;
   }
   if (argc - arg < 3) {
-    std::fprintf(stderr, "usage: dcpiprof [-i] <db_root> <epoch> <image_file>...\n");
+    std::fprintf(stderr, "usage: dcpiprof [-i] [--jobs N] <db_root> <epoch> "
+                         "<image_file>...\n");
     return 2;
   }
   ProfileDatabase db(argv[arg]);
   uint32_t epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
 
+  // One slot per image file, loaded in parallel and assembled in input
+  // order below (slots keep the profiles at stable addresses).
+  struct Slot {
+    std::string file;
+    Status load_status;
+    std::shared_ptr<ExecutableImage> image;
+    std::optional<ImageProfile> cycles, secondary;
+  };
+  std::vector<Slot> slots(static_cast<size_t>(argc - arg - 2));
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i].file = argv[arg + 2 + static_cast<int>(i)];
+  }
+  ThreadPool pool(jobs);
+  pool.ParallelFor(slots.size(), [&](size_t i, int) {
+    Slot& slot = slots[i];
+    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(slot.file);
+    slot.load_status = image.status();
+    if (!image.ok()) return;
+    slot.image = image.value();
+    Result<ImageProfile> cycles =
+        db.ReadProfile(epoch, slot.image->name(), EventType::kCycles);
+    if (!cycles.ok()) return;  // image not profiled in this epoch
+    slot.cycles = std::move(cycles.value());
+    Result<ImageProfile> imiss =
+        db.ReadProfile(epoch, slot.image->name(), EventType::kImiss);
+    if (imiss.ok()) slot.secondary = std::move(imiss.value());
+  });
+
   std::vector<ProfInput> inputs;
-  std::deque<ImageProfile> profiles;  // stable storage for ProfInput pointers
-  for (int i = arg + 2; i < argc; ++i) {
-    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(argv[i]);
-    if (!image.ok()) {
-      std::fprintf(stderr, "cannot load image %s: %s\n", argv[i],
-                   image.status().ToString().c_str());
+  for (const Slot& slot : slots) {
+    if (!slot.load_status.ok()) {
+      std::fprintf(stderr, "cannot load image %s: %s\n", slot.file.c_str(),
+                   slot.load_status.ToString().c_str());
       return 1;
     }
+    if (!slot.cycles.has_value()) continue;
     ProfInput input;
-    input.image = image.value();
-    Result<ImageProfile> cycles =
-        db.ReadProfile(epoch, image.value()->name(), EventType::kCycles);
-    if (!cycles.ok()) continue;  // image not profiled in this epoch
-    profiles.push_back(std::move(cycles.value()));
-    input.cycles = &profiles.back();
-    Result<ImageProfile> imiss =
-        db.ReadProfile(epoch, image.value()->name(), EventType::kImiss);
-    if (imiss.ok()) {
-      profiles.push_back(std::move(imiss.value()));
-      input.secondary = &profiles.back();
-    }
+    input.image = slot.image;
+    input.cycles = &*slot.cycles;
+    if (slot.secondary.has_value()) input.secondary = &*slot.secondary;
     inputs.push_back(input);
   }
   if (inputs.empty()) {

@@ -2,29 +2,47 @@
 // database is one sample set (one run).
 //
 // Usage:
-//   dcpistats <db_root> <epoch>... -- <image_file>...
+//   dcpistats [--jobs N] <db_root> <epoch>... -- <image_file>...
+//
+// Profile reads fan out over --jobs worker threads (default: hardware
+// concurrency); sample sets are assembled in epoch order, so output is
+// byte-identical for any jobs count.
 
 #include <cstdio>
 #include <cstring>
-#include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
+#include "src/support/thread_pool.h"
 #include "src/tools/dcpiprof.h"
 #include "src/tools/dcpistats.h"
 
 int main(int argc, char** argv) {
   using namespace dcpi;
+  int jobs = 0;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-' && std::strcmp(argv[arg], "--") != 0) {
+    if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
+      jobs = std::atoi(argv[++arg]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+      return 2;
+    }
+    ++arg;
+  }
   std::vector<uint32_t> epochs;
   std::vector<std::string> image_paths;
   bool after_separator = false;
-  if (argc < 5) {
-    std::fprintf(stderr, "usage: dcpistats <db_root> <epoch>... -- <image_file>...\n");
+  if (argc - arg < 4) {
+    std::fprintf(stderr,
+                 "usage: dcpistats [--jobs N] <db_root> <epoch>... -- "
+                 "<image_file>...\n");
     return 2;
   }
-  for (int i = 2; i < argc; ++i) {
+  for (int i = arg + 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--") == 0) {
       after_separator = true;
       continue;
@@ -40,7 +58,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  ProfileDatabase db(argv[1]);
+  ProfileDatabase db(argv[arg]);
   const ScanReport& scan = db.scan_report();
   if (scan.files_checked > 0 || scan.files_quarantined > 0) {
     std::fprintf(stderr, "%s\n", scan.ToString().c_str());
@@ -56,16 +74,25 @@ int main(int argc, char** argv) {
     images.push_back(image.value());
   }
 
+  // Read every (epoch, image) CYCLES profile in parallel into a flat grid,
+  // then fold into per-epoch sample sets in order.
+  std::vector<std::optional<ImageProfile>> grid(epochs.size() * images.size());
+  ThreadPool pool(jobs);
+  pool.ParallelFor(grid.size(), [&](size_t cell, int) {
+    uint32_t epoch = epochs[cell / images.size()];
+    const auto& image = images[cell % images.size()];
+    Result<ImageProfile> cycles = db.ReadProfile(epoch, image->name(), EventType::kCycles);
+    if (cycles.ok()) grid[cell] = std::move(cycles.value());
+  });
+
   std::vector<ProcedureSamples> sets;
   size_t profiles_read = 0;
-  for (uint32_t epoch : epochs) {
-    std::deque<ImageProfile> storage;
+  for (size_t e = 0; e < epochs.size(); ++e) {
     std::vector<ProfInput> inputs;
-    for (const auto& image : images) {
-      Result<ImageProfile> cycles = db.ReadProfile(epoch, image->name(), EventType::kCycles);
-      if (!cycles.ok()) continue;
-      storage.push_back(std::move(cycles.value()));
-      inputs.push_back({image, &storage.back(), nullptr});
+    for (size_t i = 0; i < images.size(); ++i) {
+      std::optional<ImageProfile>& cycles = grid[e * images.size() + i];
+      if (!cycles.has_value()) continue;
+      inputs.push_back({images[i], &*cycles, nullptr});
       ++profiles_read;
     }
     ProcedureSamples samples;
@@ -76,7 +103,7 @@ int main(int argc, char** argv) {
   }
   if (profiles_read == 0) {
     std::fprintf(stderr, "no CYCLES profiles for the given images in any requested epoch of %s\n",
-                 argv[1]);
+                 argv[arg]);
     return 1;
   }
   std::fputs(FormatStats(sets, ComputeStats(sets)).c_str(), stdout);

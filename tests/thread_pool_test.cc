@@ -1,0 +1,155 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcpi {
+namespace {
+
+TEST(ThreadPool, StartupShutdownAllSizes) {
+  // Construction + immediate destruction must not hang or leak threads,
+  // including repeatedly and at every small size.
+  for (int round = 0; round < 3; ++round) {
+    for (int size : {1, 2, 3, 8}) {
+      ThreadPool pool(size);
+      EXPECT_EQ(pool.num_threads(), size);
+    }
+  }
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareConcurrency());
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::atomic<int> sum{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, PendingTasksStillRunOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) pool.Submit([&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, TaskExceptionSurfacedFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The error is cleared: the pool stays usable and a clean batch passes.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbortOtherTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&ran, i] {
+      if (i == 7) throw std::runtime_error("one bad task");
+      ++ran;
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 31);
+}
+
+TEST(ThreadPool, ParallelForSurfacesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i, int) {
+                         if (i == 42) throw std::runtime_error("index boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NoDeadlockAtPoolSizeOne) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 200);
+
+  // ParallelFor submits one runner per worker; with one worker the runner
+  // must drain every index itself.
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, SubmitFromInsideTask) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&pool, &ran] {
+    for (int i = 0; i < 8; ++i) pool.Submit([&ran] { ++ran; });
+  });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    ++hits[i];
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForWorkerSlotsAreExclusive) {
+  // Two indices running concurrently must never observe the same worker
+  // slot: per-slot scratch reuse depends on it. Detect overlap with a
+  // per-slot "occupied" flag.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> occupied(4);
+  std::atomic<bool> overlap{false};
+  pool.ParallelFor(200, [&](size_t, int worker) {
+    if (occupied[worker].fetch_add(1) != 0) overlap = true;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    occupied[worker].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(50, [&sum](size_t i, int) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 50 * 49 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace dcpi
