@@ -23,8 +23,9 @@
 #   --lint additionally runs clang-tidy (config in .clang-tidy) over the
 #   compile-commands database. Skipped with a notice when clang-tidy is not
 #   installed, so the gate stays usable on minimal containers.
-#   --bench-smoke additionally runs bench_analysis_scaling --smoke in each
-#   sanitized build, so the parallel analysis engine and its result cache
+#   --bench-smoke additionally runs bench_analysis_scaling --smoke and
+#   bench_continuous --smoke in each sanitized build, so the parallel
+#   analysis engine, its result cache, and the continuous epoch-roll path
 #   are exercised end-to-end under TSan/ASan (tiny sizes, perf gates off).
 
 set -euo pipefail
@@ -90,13 +91,15 @@ run_config() {
   if [[ "$BENCH_SMOKE" == 1 ]]; then
     echo "=== bench smoke ($dir): analysis engine under sanitizers ==="
     (cd "$dir" && ./bench/bench_analysis_scaling --smoke)
+    echo "=== bench smoke ($dir): continuous collection under sanitizers ==="
+    (cd "$dir" && ./bench/bench_continuous --smoke)
   fi
 }
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine"
+    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous"
   fi
   run_config build-tsan "-fsanitize=thread -O1 -g -fno-omit-frame-pointer" "$TSAN_FILTER"
 fi
@@ -104,7 +107,7 @@ fi
 if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine"
+    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous"
   fi
   run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" "$ASAN_FILTER"
 fi

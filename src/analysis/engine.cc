@@ -618,7 +618,8 @@ AnalysisEngine::AnalysisEngine(EngineOptions options)
 }
 
 void AnalysisEngine::RunOne(const AnalysisInput& input, const ProcedureSymbol& proc,
-                            const AnalysisConfig& config, uint32_t image_crc,
+                            const AnalysisConfig& config,
+                            const std::string& cache_dir, uint32_t image_crc,
                             uint32_t profiles_crc, uint32_t config_fp,
                             AnalysisScratch* scratch, ProcedureResult* out) {
   out->image_name = input.image->name();
@@ -627,10 +628,10 @@ void AnalysisEngine::RunOne(const AnalysisInput& input, const ProcedureSymbol& p
     out->status = InvalidArgument("no CYCLES profile for image " + out->image_name);
     return;
   }
-  const bool cache = !options_.cache_dir.empty();
+  const bool cache = !cache_dir.empty();
   std::string path;
   if (cache) {
-    path = CacheEntryPath(options_.cache_dir, image_crc, profiles_crc, config_fp, proc);
+    path = CacheEntryPath(cache_dir, image_crc, profiles_crc, config_fp, proc);
     if (LoadCacheEntry(path, image_crc, profiles_crc, config_fp, proc,
                        *input.image, &out->analysis)) {
       out->from_cache = true;
@@ -655,8 +656,20 @@ void AnalysisEngine::RunOne(const AnalysisInput& input, const ProcedureSymbol& p
 
 EpochAnalysis AnalysisEngine::AnalyzeAll(const std::vector<AnalysisInput>& inputs,
                                          const AnalysisConfig& config) {
+  return AnalyzeAllCached(inputs, config, options_.cache_dir);
+}
+
+EpochAnalysis AnalysisEngine::AnalyzeAllCached(
+    const std::vector<AnalysisInput>& inputs, const AnalysisConfig& config,
+    const std::string& cache_dir) {
   EpochAnalysis out;
-  const bool cache = !options_.cache_dir.empty();
+  const bool cache = !cache_dir.empty();
+  if (cache) {
+    // Callers may pass per-epoch directories that do not exist yet
+    // (AnalyzeDatabase); unwritable ones degrade to cache-off behaviour.
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+  }
   const uint32_t config_fp = cache ? ConfigFingerprint(config) : 0;
   std::vector<uint32_t> image_crc(inputs.size(), 0);
   std::vector<uint32_t> profiles_crc(inputs.size(), 0);
@@ -684,9 +697,9 @@ EpochAnalysis AnalysisEngine::AnalyzeAll(const std::vector<AnalysisInput>& input
   std::vector<AnalysisScratch> scratch(pool_.num_threads());
   pool_.ParallelFor(tasks.size(), [&](size_t t, int worker) {
     const Task& task = tasks[t];
-    RunOne(inputs[task.input], *task.proc, config, image_crc[task.input],
-           profiles_crc[task.input], config_fp, &scratch[worker],
-           &out.procedures[t]);
+    RunOne(inputs[task.input], *task.proc, config, cache_dir,
+           image_crc[task.input], profiles_crc[task.input], config_fp,
+           &scratch[worker], &out.procedures[t]);
   });
 
   for (const ProcedureResult& r : out.procedures) {
@@ -706,10 +719,111 @@ ProcedureResult AnalysisEngine::AnalyzeOne(const AnalysisInput& input,
   const bool cache = !options_.cache_dir.empty();
   ProcedureResult result;
   AnalysisScratch scratch;
-  RunOne(input, proc, config, cache ? ImageContentCrc(*input.image) : 0,
+  RunOne(input, proc, config, options_.cache_dir,
+         cache ? ImageContentCrc(*input.image) : 0,
          cache ? ProfileSetCrc(input) : 0, cache ? ConfigFingerprint(config) : 0,
          &scratch, &result);
   return result;
+}
+
+DatabaseAnalysis AnalysisEngine::AnalyzeDatabase(
+    const ProfileDatabase& db,
+    const std::vector<std::shared_ptr<const ExecutableImage>>& images,
+    const AnalysisConfig& config, const DatabaseAnalysisOptions& opts) {
+  DatabaseAnalysis out;
+  std::vector<uint32_t> epochs = opts.epochs;
+  if (epochs.empty()) {
+    epochs = db.ListSealedEpochs();
+    if (epochs.empty()) epochs = db.ListEpochs();
+  }
+
+  // Cross-epoch accumulation, keyed by deterministic (image, procedure)
+  // input order.
+  struct MergeSlot {
+    CrossEpochProcedure totals;
+    bool present = false;  // image had a CYCLES profile in some epoch
+  };
+  std::vector<MergeSlot> slots;
+  std::vector<size_t> image_first_slot(images.size(), 0);
+  for (size_t i = 0; i < images.size(); ++i) {
+    image_first_slot[i] = slots.size();
+    for (const ProcedureSymbol& proc : images[i]->procedures()) {
+      MergeSlot slot;
+      slot.totals.image_name = images[i]->name();
+      slot.totals.proc = proc;
+      slots.push_back(std::move(slot));
+    }
+  }
+
+  for (uint32_t epoch : epochs) {
+    EpochAnalysisResult per_epoch;
+    per_epoch.epoch = epoch;
+    per_epoch.sealed = db.IsSealed(epoch);
+
+    // Profiles live here for the duration of this epoch's analysis; the
+    // engine's inputs reference them by pointer.
+    std::vector<std::unique_ptr<ImageProfile>> profiles;
+    std::vector<AnalysisInput> inputs;
+    std::vector<size_t> input_image(images.size(), SIZE_MAX);
+    auto read = [&](const std::string& name, EventType event) -> const ImageProfile* {
+      Result<ImageProfile> profile = db.ReadProfile(epoch, name, event);
+      if (!profile.ok()) return nullptr;
+      profiles.push_back(
+          std::make_unique<ImageProfile>(std::move(profile).value()));
+      return profiles.back().get();
+    };
+    for (size_t i = 0; i < images.size(); ++i) {
+      const ImageProfile* cycles = read(images[i]->name(), EventType::kCycles);
+      if (cycles == nullptr) continue;  // image idle this epoch
+      AnalysisInput input;
+      input.image = images[i];
+      input.cycles = cycles;
+      input.imiss = read(images[i]->name(), EventType::kImiss);
+      input.dmiss = read(images[i]->name(), EventType::kDmiss);
+      input.branchmp = read(images[i]->name(), EventType::kBranchMp);
+      input.dtbmiss = read(images[i]->name(), EventType::kDtbMiss);
+      input_image[i] = inputs.size();
+      per_epoch.analyzed_images.push_back(i);
+      inputs.push_back(std::move(input));
+      per_epoch.cycles_samples += cycles->total_samples();
+    }
+
+    per_epoch.analysis = AnalyzeAllCached(
+        inputs, config, opts.use_cache ? db.EpochCacheDir(epoch) : std::string());
+    out.cache_hits += per_epoch.analysis.cache_hits;
+    out.cache_misses += per_epoch.analysis.cache_misses;
+
+    // Fold this epoch's samples into the cross-epoch totals while its
+    // profiles are still in scope (est_cycles needs the epoch's period).
+    for (size_t i = 0; i < images.size(); ++i) {
+      if (input_image[i] == SIZE_MAX) continue;
+      const AnalysisInput& input = inputs[input_image[i]];
+      const auto& procs = images[i]->procedures();
+      for (size_t p = 0; p < procs.size(); ++p) {
+        MergeSlot& slot = slots[image_first_slot[i] + p];
+        slot.present = true;
+        const auto& counts = input.cycles->counts();
+        const uint64_t begin = procs[p].start - images[i]->text_base();
+        const uint64_t end = procs[p].end - images[i]->text_base();
+        uint64_t samples = 0;
+        for (auto it = counts.lower_bound(begin);
+             it != counts.end() && it->first < end; ++it) {
+          samples += it->second;
+        }
+        if (samples == 0) continue;
+        slot.totals.samples += samples;
+        slot.totals.est_cycles +=
+            static_cast<double>(samples) * input.cycles->mean_period();
+        ++slot.totals.epochs_present;
+      }
+    }
+    out.per_epoch.push_back(std::move(per_epoch));
+  }
+
+  for (MergeSlot& slot : slots) {
+    if (slot.present) out.merged.push_back(std::move(slot.totals));
+  }
+  return out;
 }
 
 }  // namespace dcpi

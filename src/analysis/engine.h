@@ -30,6 +30,8 @@
 
 namespace dcpi {
 
+class ProfileDatabase;
+
 // One image of an epoch together with its per-event profiles. `cycles` is
 // required for analysis (procedures of an input without it get an error
 // result); the event profiles may be null, with the usual pessimistic
@@ -75,6 +77,50 @@ struct EpochAnalysis {
   uint64_t cache_misses = 0;  // analyzed fresh (missing or corrupt entry)
 };
 
+// ---- Incremental whole-database analysis (continuous operation) ----
+//
+// A continuous run's database is a sequence of sealed epochs. AnalyzeDatabase
+// analyzes each requested epoch independently — through that epoch's own
+// result cache (<db>/epoch_N/.cache), so re-analyzing a grown database only
+// pays for the new epochs — and merges the per-epoch results into a
+// cross-epoch per-procedure summary.
+
+struct DatabaseAnalysisOptions {
+  // Epochs to analyze, ascending. Empty: every sealed epoch, or every
+  // epoch if none is sealed yet (fresh batch database).
+  std::vector<uint32_t> epochs;
+  bool use_cache = true;  // per-epoch caches under the database
+};
+
+struct EpochAnalysisResult {
+  uint32_t epoch = 0;
+  bool sealed = false;
+  uint64_t cycles_samples = 0;  // CYCLES samples read from this epoch
+  // Indices (into AnalyzeDatabase's `images`) of the images that had a
+  // CYCLES profile this epoch, in input order; `analysis.procedures` holds
+  // exactly these images' procedures, grouped in the same order.
+  std::vector<size_t> analyzed_images;
+  EpochAnalysis analysis;
+};
+
+// Per-procedure totals across the analyzed epochs.
+struct CrossEpochProcedure {
+  std::string image_name;
+  ProcedureSymbol proc;
+  uint64_t samples = 0;       // CYCLES samples summed over epochs
+  double est_cycles = 0.0;    // sum of samples_e * mean_period_e
+  uint32_t epochs_present = 0;  // epochs contributing at least one sample
+};
+
+struct DatabaseAnalysis {
+  std::vector<EpochAnalysisResult> per_epoch;  // ascending epoch order
+  // In image input order, then symbol-table order (procedures of images
+  // that never carried a CYCLES profile are omitted).
+  std::vector<CrossEpochProcedure> merged;
+  uint64_t cache_hits = 0;    // totals across epochs
+  uint64_t cache_misses = 0;
+};
+
 class AnalysisEngine {
  public:
   explicit AnalysisEngine(EngineOptions options = EngineOptions());
@@ -90,13 +136,29 @@ class AnalysisEngine {
                              const ProcedureSymbol& proc,
                              const AnalysisConfig& config);
 
+  // Analyzes the requested epochs of `db` (see DatabaseAnalysisOptions for
+  // the default set), each through its own per-epoch cache, and merges the
+  // results. `EngineOptions::cache_dir` is ignored here; caching is
+  // controlled by `opts.use_cache`. Only the given images are analyzed;
+  // images without a CYCLES profile in an epoch are skipped for that epoch.
+  DatabaseAnalysis AnalyzeDatabase(
+      const ProfileDatabase& db,
+      const std::vector<std::shared_ptr<const ExecutableImage>>& images,
+      const AnalysisConfig& config,
+      const DatabaseAnalysisOptions& opts = DatabaseAnalysisOptions());
+
   int jobs() const { return pool_.num_threads(); }
 
  private:
   void RunOne(const AnalysisInput& input, const ProcedureSymbol& proc,
-              const AnalysisConfig& config, uint32_t image_crc,
-              uint32_t profiles_crc, uint32_t config_fp,
+              const AnalysisConfig& config, const std::string& cache_dir,
+              uint32_t image_crc, uint32_t profiles_crc, uint32_t config_fp,
               AnalysisScratch* scratch, ProcedureResult* out);
+  // AnalyzeAll against an explicit cache directory (empty = no cache);
+  // AnalyzeDatabase points this at each epoch's own cache in turn.
+  EpochAnalysis AnalyzeAllCached(const std::vector<AnalysisInput>& inputs,
+                                 const AnalysisConfig& config,
+                                 const std::string& cache_dir);
 
   EngineOptions options_;
   ThreadPool pool_;

@@ -1,7 +1,6 @@
 #include "src/check/dcpicheck.h"
 
 #include <memory>
-#include <optional>
 #include <utility>
 
 #include "src/analysis/engine.h"
@@ -13,33 +12,34 @@ namespace dcpi {
 
 namespace {
 
-std::optional<ImageProfile> MaybeProfile(ProfileDatabase& db, uint32_t epoch,
-                                         const std::string& image_name,
-                                         EventType event) {
-  Result<ImageProfile> profile = db.ReadProfile(epoch, image_name, event);
-  if (!profile.ok()) return std::nullopt;
-  return std::move(profile.value());
-}
-
 // Per-image-file state gathered before the parallel analysis: the loaded
-// image, its profiles, and the violations (load errors, lint findings,
-// missing-CYCLES warnings) that must precede its procedure reports.
+// image and the violations (load errors, lint findings) that must precede
+// its per-epoch procedure reports.
 struct ImageEntry {
   CheckReport pre;
   std::shared_ptr<ExecutableImage> image;  // null if the file did not load
-  std::optional<ImageProfile> cycles, imiss, dmiss, branchmp, dtbmiss;
+  size_t image_index = 0;  // index into the AnalyzeDatabase image set
 };
 
 }  // namespace
 
 CheckReport RunDcpicheck(const DcpicheckOptions& options) {
-  ProfileDatabase db(options.db_root);
+  // Read-only: dcpicheck may run against a database a daemon is still
+  // writing, and must never quarantine its in-flight files.
+  ProfileDatabase db(options.db_root, DbOpenMode::kReadOnly);
   AnalysisConfig config = options.analysis;
   config.selfcheck = true;
 
-  // Load, lint, and gather profiles serially (cheap); the entries are
-  // heap-allocated so the AnalysisInput profile pointers stay stable.
+  std::vector<uint32_t> epochs = options.epochs;
+  if (epochs.empty()) {
+    epochs = db.ListSealedEpochs();
+    if (epochs.empty()) epochs = db.ListEpochs();
+  }
+
+  // Load and lint serially (cheap, and the lint findings must keep input
+  // order); analysis fans out below.
   std::vector<std::unique_ptr<ImageEntry>> entries;
+  std::vector<std::shared_ptr<const ExecutableImage>> images;
   for (const std::string& file : options.image_files) {
     auto entry = std::make_unique<ImageEntry>();
     Result<std::shared_ptr<ExecutableImage>> loaded = LoadImage(file);
@@ -51,35 +51,14 @@ CheckReport RunDcpicheck(const DcpicheckOptions& options) {
       continue;
     }
     entry->image = loaded.value();
-    const ExecutableImage& image = *entry->image;
-    LintImage(image, &entry->pre, options.lint);
-
-    entry->cycles = MaybeProfile(db, options.epoch, image.name(), EventType::kCycles);
-    if (!entry->cycles.has_value()) {
-      CheckViolation& v = entry->pre.AddViolation(
-          CheckPass::kInput, CheckSeverity::kWarning,
-          "no CYCLES profile in epoch " + std::to_string(options.epoch) +
-              "; analysis passes skipped");
-      v.image = image.name();
-      entries.push_back(std::move(entry));
-      continue;
-    }
-    entry->imiss = MaybeProfile(db, options.epoch, image.name(), EventType::kImiss);
-    entry->dmiss = MaybeProfile(db, options.epoch, image.name(), EventType::kDmiss);
-    entry->branchmp =
-        MaybeProfile(db, options.epoch, image.name(), EventType::kBranchMp);
-    entry->dtbmiss =
-        MaybeProfile(db, options.epoch, image.name(), EventType::kDtbMiss);
+    LintImage(*entry->image, &entry->pre, options.lint);
+    entry->image_index = images.size();
+    images.push_back(entry->image);
     entries.push_back(std::move(entry));
   }
 
-  // Fan the per-procedure analyses (with selfcheck passes) over the engine.
   EngineOptions engine_options;
   engine_options.jobs = options.jobs;
-  if (options.use_cache) {
-    engine_options.cache_dir =
-        options.db_root + "/epoch_" + std::to_string(options.epoch) + "/.cache";
-  }
   engine_options.analyze = [](const ExecutableImage& image,
                               const ProcedureSymbol& proc,
                               const ImageProfile& cycles, const ImageProfile* imiss,
@@ -92,39 +71,61 @@ CheckReport RunDcpicheck(const DcpicheckOptions& options) {
   };
   AnalysisEngine engine(std::move(engine_options));
 
-  std::vector<AnalysisInput> inputs;
-  for (const auto& entry : entries) {
-    if (!entry->image || !entry->cycles.has_value()) continue;
-    AnalysisInput input;
-    input.image = entry->image;
-    input.cycles = &*entry->cycles;
-    if (entry->imiss) input.imiss = &*entry->imiss;
-    if (entry->dmiss) input.dmiss = &*entry->dmiss;
-    if (entry->branchmp) input.branchmp = &*entry->branchmp;
-    if (entry->dtbmiss) input.dtbmiss = &*entry->dtbmiss;
-    inputs.push_back(std::move(input));
-  }
-  EpochAnalysis epoch = engine.AnalyzeAll(inputs, config);
+  DatabaseAnalysisOptions db_options;
+  db_options.epochs = epochs;
+  db_options.use_cache = options.use_cache;
+  DatabaseAnalysis analyzed = engine.AnalyzeDatabase(db, images, config, db_options);
 
-  // Ordered reduction: results come back grouped by input in submission
-  // order, so the merged report is identical to the serial tool's for any
-  // jobs count.
+  // Per-epoch offsets of each image's procedure block, so the reduction
+  // below can walk an image's results across epochs in order.
+  struct EpochIndex {
+    // images.size() entries; SIZE_MAX when the image was not analyzed.
+    std::vector<size_t> first_result;
+  };
+  std::vector<EpochIndex> epoch_index(analyzed.per_epoch.size());
+  for (size_t e = 0; e < analyzed.per_epoch.size(); ++e) {
+    epoch_index[e].first_result.assign(images.size(), SIZE_MAX);
+    size_t offset = 0;
+    for (size_t image : analyzed.per_epoch[e].analyzed_images) {
+      epoch_index[e].first_result[image] = offset;
+      offset += images[image]->procedures().size();
+    }
+  }
+
+  // Ordered reduction: per image, the lint findings first, then each
+  // checked epoch's procedure reports — identical for any jobs count.
   CheckReport report;
-  size_t next_result = 0;
+  if (epochs.empty()) {
+    report.AddViolation(CheckPass::kInput, CheckSeverity::kWarning,
+                        "profile database " + options.db_root +
+                            " has no epochs; analysis passes skipped");
+  }
   for (const auto& entry : entries) {
     for (const CheckViolation& v : entry->pre.violations()) report.Add(v);
-    if (!entry->image || !entry->cycles.has_value()) continue;
-    for (size_t p = 0; p < entry->image->procedures().size(); ++p) {
-      const ProcedureResult& result = epoch.procedures[next_result++];
-      if (!result.status.ok()) {
+    if (!entry->image) continue;
+    for (size_t e = 0; e < analyzed.per_epoch.size(); ++e) {
+      const EpochAnalysisResult& epoch = analyzed.per_epoch[e];
+      size_t first = epoch_index[e].first_result[entry->image_index];
+      if (first == SIZE_MAX) {
         CheckViolation& v = report.AddViolation(
-            CheckPass::kInput, CheckSeverity::kError,
-            "analysis failed: " + result.status.ToString());
-        v.image = result.image_name;
-        v.proc = result.proc.name;
+            CheckPass::kInput, CheckSeverity::kWarning,
+            "no CYCLES profile in epoch " + std::to_string(epoch.epoch) +
+                "; analysis passes skipped");
+        v.image = entry->image->name();
         continue;
       }
-      report.Merge(result.analysis.selfcheck_report);
+      for (size_t p = 0; p < entry->image->procedures().size(); ++p) {
+        const ProcedureResult& result = epoch.analysis.procedures[first + p];
+        if (!result.status.ok()) {
+          CheckViolation& v = report.AddViolation(
+              CheckPass::kInput, CheckSeverity::kError,
+              "analysis failed: " + result.status.ToString());
+          v.image = result.image_name;
+          v.proc = result.proc.name;
+          continue;
+        }
+        report.Merge(result.analysis.selfcheck_report);
+      }
     }
   }
   return report;

@@ -1,8 +1,8 @@
 // dcpicheck driver: all five verification passes over a profile database
 // and an image set — the static-analysis counterpart of dcpiprof/dcpicalc.
 //
-// For every image: pass 1 (image lint) runs unconditionally; if the
-// database has a CYCLES profile for the image in the chosen epoch, every
+// For every image: pass 1 (image lint) runs once, unconditionally; then
+// for every checked epoch that has a CYCLES profile for the image, every
 // procedure is analyzed and passes 2-5 (CFG structure, differential cycle
 // equivalence, flow conservation, schedule invariants) run over the
 // analysis. The report collects every violation; callers exit non-zero
@@ -23,7 +23,10 @@ namespace dcpi {
 
 struct DcpicheckOptions {
   std::string db_root;
-  uint32_t epoch = 0;
+  // Epochs to check, ascending. Empty: every sealed epoch, or every epoch
+  // of a database with no seals yet (matching the analysis engine's
+  // whole-database default).
+  std::vector<uint32_t> epochs;
   std::vector<std::string> image_files;
   ImageLintOptions lint;
   AnalysisConfig analysis;

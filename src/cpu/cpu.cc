@@ -293,14 +293,20 @@ bool Cpu::Step(ExecContext& ctx) {
       int64_t b = inst->has_literal ? inst->literal : regs.ReadInt(inst->rb);
       int64_t result = 0;
       switch (inst->op) {
+        // Arithmetic wraps modulo 2^64 like the hardware; compute unsigned
+        // to avoid signed-overflow UB on guest programs that rely on it
+        // (e.g. LCG random-number kernels).
         case Opcode::kAddq:
-          result = a + b;
+          result = static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                        static_cast<uint64_t>(b));
           break;
         case Opcode::kSubq:
-          result = a - b;
+          result = static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                        static_cast<uint64_t>(b));
           break;
         case Opcode::kMulq:
-          result = a * b;
+          result = static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                        static_cast<uint64_t>(b));
           imul_free_ = issue_time + config_.pipeline.imul_repeat;
           break;
         case Opcode::kAnd:

@@ -1,6 +1,7 @@
 #include "src/daemon/daemon.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace dcpi {
 
@@ -24,18 +25,47 @@ Daemon::~Daemon() {
   if (drain_thread_running()) StopDrainThread();
 }
 
+void Daemon::set_epoch_policy(const EpochPolicy& policy) {
+  policy_ = policy;
+  next_flush_due_.store(policy.flush_interval_cycles, std::memory_order_relaxed);
+}
+
 void Daemon::ProcessLoaderEvents(std::vector<LoaderEvent> events) {
-  std::unique_lock lock(maps_mu_);
-  for (LoaderEvent& event : events) {
-    if (event.kind == LoaderEvent::Kind::kLoadImage && event.image != nullptr) {
-      std::vector<Mapping>& maps = load_maps_[event.pid];
-      maps.push_back({event.image->text_base(), event.image->text_end(), event.image});
-      std::sort(maps.begin(), maps.end(),
-                [](const Mapping& a, const Mapping& b) { return a.start < b.start; });
+  bool map_changed = false;
+  {
+    std::unique_lock lock(maps_mu_);
+    for (LoaderEvent& event : events) {
+      if (event.kind == LoaderEvent::Kind::kLoadImage && event.image != nullptr) {
+        std::vector<Mapping>& maps = load_maps_[event.pid];
+        maps.push_back(
+            {event.image->text_base(), event.image->text_end(), event.image, false});
+        std::sort(maps.begin(), maps.end(),
+                  [](const Mapping& a, const Mapping& b) { return a.start < b.start; });
+        map_changed = true;
+      } else if (event.kind == LoaderEvent::Kind::kUnloadImage &&
+                 event.image != nullptr) {
+        // The mapping stays resolvable until the next epoch roll so that
+        // late-drained samples from the exited process still attribute
+        // (the paper's daemon reaps per-process state infrequently).
+        auto it = load_maps_.find(event.pid);
+        if (it != load_maps_.end()) {
+          for (Mapping& mapping : it->second) {
+            if (mapping.image == event.image) mapping.dead = true;
+          }
+        }
+        map_changed = true;
+      }
+      // kProcessExit carries no map information of its own; the per-image
+      // unload events preceding it already marked the mappings dead.
     }
-    // Process-exit events: the paper's daemon reaps per-process state
-    // infrequently; we keep load maps until the end of the run so that
-    // late-drained samples from exited processes still resolve.
+  }
+  // An image-map change after samples arrived delimits an epoch (Section
+  // 4.2: epochs are periods of stable load maps). The roll itself waits
+  // for a quiesce point. Changes before any sample (initial loads) do not
+  // schedule a roll — the epoch would be empty.
+  if (map_changed && policy_.roll_on_map_change &&
+      samples_since_roll_.load(std::memory_order_relaxed) > 0) {
+    pending_map_roll_.store(true, std::memory_order_release);
   }
 }
 
@@ -71,6 +101,7 @@ void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& rec
   for (const SampleRecord& record : records) {
     records_processed_.fetch_add(1, std::memory_order_relaxed);
     daemon_cycles_.fetch_add(config_.cycles_per_record, std::memory_order_relaxed);
+    samples_since_roll_.fetch_add(record.count, std::memory_order_relaxed);
     const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
     if (mapping == nullptr) {
       samples_unknown_.fetch_add(record.count, std::memory_order_relaxed);
@@ -93,6 +124,10 @@ void Daemon::StartDrainThread() {
   drain_thread_ = std::thread([this] {
     while (true) {
       size_t consumed = driver_->DrainPublished();
+      // Timed flushes ride the drain thread: the clock is published by
+      // the CPU workers, so flush times are simulated-deterministic even
+      // though the flush itself runs on this host thread.
+      MaybeTimedFlush();
       if (consumed == 0) {
         // Producers have quiesced by the time stop is set, so an empty
         // sweep after the flag means nothing more can arrive: the
@@ -112,18 +147,30 @@ void Daemon::StopDrainThread() {
   driver_->SetDrainMode(DrainMode::kInline);
 }
 
-Status Daemon::FlushToDatabase() {
-  if (driver_ != nullptr) driver_->FlushAll();
+Status Daemon::FlushProfilesLocked() {
   if (database_ == nullptr) return Status::Ok();
-  std::lock_guard lock(profiles_mu_);
+  // Collect the slots under the structure lock, then snapshot each profile
+  // under its own merge lock: concurrent ProcessBuffer merges never see a
+  // torn write, and the (slow) file IO happens outside every lock.
+  std::vector<ProfileSlot*> slots;
+  {
+    std::lock_guard lock(profiles_mu_);
+    slots.reserve(profiles_.size());
+    for (const auto& [key, slot] : profiles_) slots.push_back(slot.get());
+  }
   size_t failures = 0;
   std::string first_error;
-  for (const auto& [key, slot] : profiles_) {
-    if (slot->profile.distinct_offsets() == 0) continue;
-    Status written = database_->WriteProfile(slot->profile);
+  for (ProfileSlot* slot : slots) {
+    ImageProfile snapshot;
+    {
+      std::lock_guard lock(slot->mu);
+      if (slot->profile.distinct_offsets() == 0) continue;
+      snapshot = slot->profile;
+    }
+    Status written = database_->ReplaceProfile(snapshot);
     if (!written.ok()) {
       db_write_retries_.fetch_add(1, std::memory_order_relaxed);
-      written = database_->WriteProfile(slot->profile);
+      written = database_->ReplaceProfile(snapshot);
     }
     if (!written.ok()) {
       db_write_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -138,6 +185,116 @@ Status Daemon::FlushToDatabase() {
                    " profile write(s) failed after retry; first: " + first_error);
   }
   return Status::Ok();
+}
+
+Status Daemon::FlushToDatabase() {
+  if (driver_ != nullptr) driver_->FlushAll();
+  std::lock_guard lock(flush_mu_);
+  return FlushProfilesLocked();
+}
+
+void Daemon::PublishSimTime(uint64_t now) {
+  uint64_t current = sim_now_.load(std::memory_order_relaxed);
+  while (now > current &&
+         !sim_now_.compare_exchange_weak(current, now, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+bool Daemon::MaybeTimedFlush() {
+  if (database_ == nullptr || policy_.flush_interval_cycles == 0) return false;
+  uint64_t now = sim_now_.load(std::memory_order_acquire);
+  if (now < next_flush_due_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard lock(flush_mu_);
+  uint64_t due = next_flush_due_.load(std::memory_order_relaxed);
+  if (now < due) return false;  // another flush beat us to it
+  // A failed timed flush is counted in db_write_failures and retried at
+  // the next interval (or the final shutdown flush, which reports it).
+  Status flushed = FlushProfilesLocked();
+  (void)flushed;
+  while (due <= now) due += policy_.flush_interval_cycles;
+  next_flush_due_.store(due, std::memory_order_relaxed);
+  timed_flushes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status Daemon::TickAtQuiescePoint(uint64_t now) {
+  PublishSimTime(now);
+  if (policy_.roll_on_map_change &&
+      pending_map_roll_.load(std::memory_order_acquire)) {
+    return RollEpoch(now);
+  }
+  MaybeTimedFlush();
+  return Status::Ok();
+}
+
+Status Daemon::RollEpoch(uint64_t at_cycles) {
+  // Quiesce point: producers are idle, so a full driver drain leaves no
+  // in-flight sample that could land astride the seal.
+  if (driver_ != nullptr) driver_->FlushAll();
+  // An epoch with no samples would seal empty (and the next one would
+  // inherit the same load maps), so a roll before any sample is a no-op.
+  if (samples_since_roll_.load(std::memory_order_relaxed) == 0) {
+    pending_map_roll_.store(false, std::memory_order_release);
+    return Status::Ok();
+  }
+  Status result = Status::Ok();
+  bool sealed = false;
+  {
+    std::lock_guard lock(flush_mu_);
+    result = FlushProfilesLocked();
+    if (database_ != nullptr && database_->has_open_epoch()) {
+      Status seal = database_->SealCurrentEpoch(at_cycles);
+      if (result.ok()) result = seal;
+      sealed = seal.ok();
+      Result<uint32_t> next = database_->NewEpoch();
+      if (result.ok() && !next.ok()) result = next.status();
+    }
+    // Restart the flush countdown: the roll just flushed everything.
+    if (policy_.flush_interval_cycles != 0) {
+      uint64_t now = sim_now_.load(std::memory_order_relaxed);
+      if (at_cycles > now) now = at_cycles;
+      next_flush_due_.store(now + policy_.flush_interval_cycles,
+                            std::memory_order_relaxed);
+    }
+  }
+  // The sealed epoch's samples now live on disk; the in-memory slots
+  // restart empty for the new epoch (identity and periods kept).
+  {
+    std::lock_guard lock(profiles_mu_);
+    for (const auto& [key, slot] : profiles_) {
+      std::lock_guard slot_lock(slot->mu);
+      slot->profile.ClearCounts();
+    }
+  }
+  PruneDeadMaps();
+  samples_since_roll_.store(0, std::memory_order_relaxed);
+  pending_map_roll_.store(false, std::memory_order_release);
+  if (sealed) epoch_rolls_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status Daemon::SealCurrentEpoch(uint64_t at_cycles) {
+  if (database_ == nullptr) return Status::Ok();
+  // A live epoch with no samples stays open: sealing it would make an
+  // empty epoch the tools' default (latest sealed) selection.
+  if (samples_since_roll_.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  std::lock_guard lock(flush_mu_);
+  if (!database_->has_open_epoch()) return Status::Ok();  // nothing collected
+  return database_->SealCurrentEpoch(at_cycles);
+}
+
+void Daemon::PruneDeadMaps() {
+  std::unique_lock lock(maps_mu_);
+  for (auto it = load_maps_.begin(); it != load_maps_.end();) {
+    std::vector<Mapping>& maps = it->second;
+    maps.erase(std::remove_if(maps.begin(), maps.end(),
+                              [](const Mapping& m) { return m.dead; }),
+               maps.end());
+    it = maps.empty() ? load_maps_.erase(it) : std::next(it);
+  }
 }
 
 const ImageProfile* Daemon::FindProfile(const std::string& image_name,
@@ -174,6 +331,8 @@ DaemonStats Daemon::stats() const {
   snapshot.db_merges = db_merges_.load(std::memory_order_relaxed);
   snapshot.db_write_retries = db_write_retries_.load(std::memory_order_relaxed);
   snapshot.db_write_failures = db_write_failures_.load(std::memory_order_relaxed);
+  snapshot.epoch_rolls = epoch_rolls_.load(std::memory_order_relaxed);
+  snapshot.timed_flushes = timed_flushes_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -18,6 +18,21 @@
 // shutdown: once producers have quiesced, the drain thread performs one
 // final empty sweep and exits.
 //
+// Continuous operation (the paper's headline property): the daemon runs
+// indefinitely and the database grows as a sequence of sealed epochs. An
+// EpochPolicy arms two triggers:
+//   * timed flushes — PublishSimTime() advances the daemon's view of the
+//     simulated clock, and every flush_interval_cycles the cumulative
+//     in-memory profiles are flushed (ReplaceProfile: single-writer
+//     overwrite, so repeated flushes of one epoch never double-count).
+//     The drain thread performs these concurrently with collection.
+//   * map-change rolls — image load/unload events mark the epoch's load
+//     map as changed; the next quiesce point executes RollEpoch(), which
+//     flushes, seals the epoch (.sealed marker), advances to a new epoch,
+//     clears the aggregation slots, and retires dead load-map entries.
+// Rolls only ever execute at quiesce points (no producers, no drain
+// thread mid-buffer), so no sample can land astride the seal.
+//
 // Daemon CPU cost is modelled per processed record (the paper's "three
 // hash lookups" path) and reported per-sample for the Table 4 accounting.
 
@@ -50,14 +65,28 @@ struct DaemonConfig {
   uint64_t cycles_per_buffer_flush = 6000;
 };
 
+// When and how the epoch lifecycle advances. The defaults reproduce the
+// historical batch behaviour: one epoch, flushed once at shutdown.
+struct EpochPolicy {
+  // Flush the in-memory profiles to the database every this many simulated
+  // cycles (0 disables timed flushes). The paper's daemon wakes every ~5
+  // minutes; scale to simulation length.
+  uint64_t flush_interval_cycles = 0;
+  // Seal + advance the epoch when the image map changes (image loaded or
+  // unloaded after samples arrived). Executed at the next quiesce point.
+  bool roll_on_map_change = false;
+};
+
 struct DaemonStats {
   uint64_t records_processed = 0;   // aggregated hash entries seen
   uint64_t samples_attributed = 0;  // sum of record counts mapped to images
   uint64_t samples_unknown = 0;
   uint64_t daemon_cycles = 0;       // modelled CPU time consumed by the daemon
-  uint64_t db_merges = 0;
+  uint64_t db_merges = 0;           // profiles successfully written
   uint64_t db_write_retries = 0;    // failed profile writes retried
   uint64_t db_write_failures = 0;   // profiles whose retry also failed
+  uint64_t epoch_rolls = 0;         // epochs sealed + advanced past
+  uint64_t timed_flushes = 0;       // periodic flushes performed
 };
 
 class Daemon {
@@ -68,6 +97,11 @@ class Daemon {
          std::vector<double> mean_periods = {});
   ~Daemon();
 
+  // Installs the continuous-operation policy. Call before collection
+  // starts (not thread-safe against a running drain thread).
+  void set_epoch_policy(const EpochPolicy& policy);
+  const EpochPolicy& epoch_policy() const { return policy_; }
+
   // Ingests load-map updates from the kernel's modified loader.
   void ProcessLoaderEvents(std::vector<LoaderEvent> events);
 
@@ -77,19 +111,55 @@ class Daemon {
   // Concurrent drain of the driver's published overflow buffers. Start
   // switches the driver to DrainMode::kConcurrent; Stop joins the thread,
   // performs a final sweep, and restores inline draining. Stop must be
-  // called only after the sample-producing threads have quiesced.
+  // called only after the sample-producing threads have quiesced. While
+  // running, the drain thread also performs any due timed flushes.
   void StartDrainThread();
   void StopDrainThread();
   bool drain_thread_running() const { return drain_thread_.joinable(); }
 
-  // Flushes driver state and merges all in-memory profiles to disk. A
+  // Flushes driver state and writes all in-memory profiles to disk. A
   // failed profile write is retried once; if the retry also fails the
   // flush continues with the remaining profiles and returns an error
   // naming the failure count, so a bad disk never silently drops samples.
   Status FlushToDatabase();
 
+  // ---- Epoch lifecycle ----
+
+  // Advances the daemon's view of the simulated clock (atomic max, so
+  // per-CPU workers may publish concurrently). Timed flushes are due
+  // against this clock, keeping them at deterministic simulated times.
+  void PublishSimTime(uint64_t now);
+
+  // Performs a due timed flush, if any. Safe to call concurrently with
+  // collection (the drain thread calls it every sweep). Returns true if a
+  // flush ran.
+  bool MaybeTimedFlush();
+
+  // Executes any pending map-change roll, then any due timed flush. Call
+  // only at quiesce points (between Run segments, or on the sequential
+  // path between kernel chunks) — rolls must not race sample production.
+  Status TickAtQuiescePoint(uint64_t now);
+
+  // Seals the current epoch and starts the next one: drains the driver,
+  // flushes the cumulative profiles, writes the .sealed marker, advances
+  // the database epoch, clears the in-memory aggregation slots, and
+  // retires load-map entries of exited processes. Quiesce points only.
+  // No-op (Ok) when nothing was ever flushed and no epoch is open.
+  Status RollEpoch(uint64_t at_cycles = 0);
+
+  // Seals the current epoch without advancing (clean shutdown, so the
+  // final epoch is analyzable like any other).
+  Status SealCurrentEpoch(uint64_t at_cycles = 0);
+
+  // True when an image-map change has scheduled a roll for the next
+  // quiesce point.
+  bool pending_epoch_roll() const {
+    return pending_map_roll_.load(std::memory_order_acquire);
+  }
+
   // In-memory profile access (what the analysis tools read before a flush;
-  // after a flush, read the database).
+  // after a flush, read the database). A roll clears these — the database
+  // then holds the sealed history.
   const ImageProfile* FindProfile(const std::string& image_name, EventType event) const;
   std::vector<const ImageProfile*> AllProfiles() const;
 
@@ -112,6 +182,9 @@ class Daemon {
     uint64_t start;
     uint64_t end;
     std::shared_ptr<const ExecutableImage> image;
+    // Set when the owning process exits; the mapping keeps resolving
+    // late-drained samples until the next epoch roll retires it.
+    bool dead = false;
   };
 
   // One (image, event) aggregation slot; `mu` serializes merges into this
@@ -124,10 +197,16 @@ class Daemon {
 
   const Mapping* ResolvePc(uint32_t pid, uint64_t pc) const;
   ProfileSlot* SlotFor(const std::string& image_name, EventType event);
+  // Writes every non-empty profile with ReplaceProfile (+1 retry each).
+  // Caller holds flush_mu_.
+  Status FlushProfilesLocked();
+  // Erases dead load-map entries (and emptied processes).
+  void PruneDeadMaps();
 
   DcpiDriver* driver_;
   ProfileDatabase* database_;
   DaemonConfig config_;
+  EpochPolicy policy_;
   std::vector<double> mean_periods_;  // indexed by EventType
 
   mutable std::shared_mutex maps_mu_;  // guards load_maps_
@@ -136,6 +215,14 @@ class Daemon {
   mutable std::mutex profiles_mu_;  // guards the profiles_ map structure
   std::map<std::pair<std::string, int>, std::unique_ptr<ProfileSlot>> profiles_;
 
+  // Serializes database flushes and rolls (a concurrent timed flush and a
+  // quiesce-point roll must not interleave their profile writes).
+  std::mutex flush_mu_;
+  std::atomic<uint64_t> sim_now_{0};
+  std::atomic<uint64_t> next_flush_due_{0};
+  std::atomic<bool> pending_map_roll_{false};
+  std::atomic<uint64_t> samples_since_roll_{0};
+
   std::atomic<uint64_t> records_processed_{0};
   std::atomic<uint64_t> samples_attributed_{0};
   std::atomic<uint64_t> samples_unknown_{0};
@@ -143,6 +230,8 @@ class Daemon {
   std::atomic<uint64_t> db_merges_{0};
   std::atomic<uint64_t> db_write_retries_{0};
   std::atomic<uint64_t> db_write_failures_{0};
+  std::atomic<uint64_t> epoch_rolls_{0};
+  std::atomic<uint64_t> timed_flushes_{0};
 
   std::thread drain_thread_;
   std::atomic<bool> drain_stop_{false};

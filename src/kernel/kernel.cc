@@ -112,6 +112,7 @@ Result<Process*> Kernel::CreateProcess(
       for (auto& shard : truth_shards_) shard->AddImage(image);
     }
     DCPI_RETURN_IF_ERROR(process->aspace().MapImage(predecoded));
+    process->AddImage(image);
     {
       std::lock_guard lock(loader_mu_);
       loader_events_.push_back({LoaderEvent::Kind::kLoadImage, pid, image});
@@ -143,6 +144,17 @@ void Kernel::RunKernelProc(uint32_t cpu_index, uint64_t entry_pc) {
   (void)result;
 }
 
+void Kernel::EmitExitEvents(const Process& process) {
+  // The modified loader reports the teardown of the exiting process's
+  // image map (one unload per mapping) before the exit itself, mirroring
+  // the load events emitted at creation.
+  std::lock_guard lock(loader_mu_);
+  for (const auto& image : process.images()) {
+    loader_events_.push_back({LoaderEvent::Kind::kUnloadImage, process.pid(), image});
+  }
+  loader_events_.push_back({LoaderEvent::Kind::kProcessExit, process.pid(), nullptr});
+}
+
 Process* Kernel::NextReady(uint32_t cpu_index) {
   std::deque<Process*>& queue = run_queues_[cpu_index];
   if (queue.empty()) return nullptr;
@@ -167,21 +179,13 @@ bool Kernel::RunOneStep(uint32_t cpu_index) {
   switch (result.reason) {
     case ExitReason::kHalted:
       process->set_state(ProcessState::kDone);
-      {
-        std::lock_guard lock(loader_mu_);
-        loader_events_.push_back(
-            {LoaderEvent::Kind::kProcessExit, process->pid(), nullptr});
-      }
+      EmitExitEvents(*process);
       break;
     case ExitReason::kBadPc:
     case ExitReason::kBadMemory:
       had_error_.store(true, std::memory_order_relaxed);
       process->set_state(ProcessState::kDone);
-      {
-        std::lock_guard lock(loader_mu_);
-        loader_events_.push_back(
-            {LoaderEvent::Kind::kProcessExit, process->pid(), nullptr});
-      }
+      EmitExitEvents(*process);
       break;
     case ExitReason::kQuantumExpired:
     case ExitReason::kYielded:

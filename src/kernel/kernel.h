@@ -45,10 +45,14 @@ struct KernelConfig {
 };
 
 struct LoaderEvent {
-  enum class Kind { kLoadImage, kProcessExit };
+  // kUnloadImage fires once per mapped image when a process exits (the
+  // exec/unmap half of the paper's modified-loader hook): the daemon
+  // treats it as an image-map change, marks the mapping dead, and — in
+  // continuous operation — schedules an epoch roll.
+  enum class Kind { kLoadImage, kUnloadImage, kProcessExit };
   Kind kind;
   uint32_t pid = 0;
-  std::shared_ptr<const ExecutableImage> image;  // kLoadImage only
+  std::shared_ptr<const ExecutableImage> image;  // kLoadImage / kUnloadImage
 };
 
 class Kernel {
@@ -93,6 +97,9 @@ class Kernel {
 
  private:
   void RunKernelProc(uint32_t cpu_index, uint64_t entry_pc);
+  // Emits the kUnloadImage events (one per mapped image) plus the
+  // kProcessExit event for a terminating process.
+  void EmitExitEvents(const Process& process);
   // One scheduling decision on `cpu_index` (swtch path + one quantum).
   // Returns false if the CPU's run queue is empty.
   bool RunOneStep(uint32_t cpu_index);

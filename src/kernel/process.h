@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cpu/exec_context.h"
 #include "src/kernel/address_space.h"
 
 namespace dcpi {
+
+class ExecutableImage;
 
 enum class ProcessState { kReady, kRunning, kDone };
 
@@ -36,6 +39,16 @@ class Process : public ExecContext {
   const std::string& name() const { return name_; }
   AddressSpace& aspace() { return aspace_; }
 
+  // Images mapped at creation, recorded so the kernel can emit per-image
+  // unload events when the process exits (the daemon retires the matching
+  // load-map entries at the next epoch roll).
+  void AddImage(std::shared_ptr<const ExecutableImage> image) {
+    images_.push_back(std::move(image));
+  }
+  const std::vector<std::shared_ptr<const ExecutableImage>>& images() const {
+    return images_;
+  }
+
   ProcessState state() const { return state_; }
   void set_state(ProcessState state) { state_ = state; }
 
@@ -49,6 +62,7 @@ class Process : public ExecContext {
   std::string name_;
   RegFile regs_;
   AddressSpace aspace_;
+  std::vector<std::shared_ptr<const ExecutableImage>> images_;
   ProcessState state_ = ProcessState::kReady;
   uint64_t cpu_cycles_ = 0;
   uint64_t instructions_ = 0;

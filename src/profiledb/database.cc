@@ -20,9 +20,23 @@ constexpr uint8_t kVersionFixedWidth = 1;
 constexpr uint8_t kVersionVarint = 2;
 constexpr uint8_t kVersionChecksummed = 3;  // varint body + CRC32 trailer
 
+constexpr char kSealMarker[] = ".sealed";
+
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Parses "epoch_<N>" (strictly numeric); returns false for anything else.
+bool ParseEpochDirName(const std::string& dir_name, uint32_t* epoch) {
+  if (dir_name.rfind("epoch_", 0) != 0 || dir_name.size() == 6) return false;
+  uint32_t value = 0;
+  for (size_t i = 6; i < dir_name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(dir_name[i]))) return false;
+    value = value * 10 + static_cast<uint32_t>(dir_name[i] - '0');
+  }
+  *epoch = value;
+  return true;
 }
 
 // Header + varint-encoded count records, shared by versions 2 and 3.
@@ -180,9 +194,23 @@ std::string ScanReport::ToString() const {
          std::to_string(next_epoch);
 }
 
-ProfileDatabase::ProfileDatabase(std::string root_dir) : root_(std::move(root_dir)) {
-  std::error_code ec;
-  std::filesystem::create_directories(root_, ec);
+std::string ScanReport::DetailString() const {
+  std::string out;
+  for (const EpochScanInfo& info : epochs) {
+    out += "  epoch " + std::to_string(info.epoch) + ": " +
+           std::to_string(info.files) + " file(s), " +
+           std::to_string(info.samples) + " sample(s), " +
+           (info.sealed ? "sealed" : "open") + "\n";
+  }
+  return out;
+}
+
+ProfileDatabase::ProfileDatabase(std::string root_dir, DbOpenMode mode)
+    : root_(std::move(root_dir)), mode_(mode) {
+  if (mode_ == DbOpenMode::kReadWrite) {
+    std::error_code ec;
+    std::filesystem::create_directories(root_, ec);
+  }
   scan_report_ = ScanAndRecover();
   next_epoch_ = scan_report_.next_epoch;
 }
@@ -194,24 +222,15 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
   std::error_code ec;
   std::filesystem::directory_iterator root_it(root_, ec);
   if (ec) return report;
+  const bool read_only = mode_ == DbOpenMode::kReadOnly;
   // directory_iterator order is unspecified; sort epochs numerically and
   // files by name so the scan (and the quarantine it performs) is stable
   // across filesystems and runs.
   std::vector<std::pair<uint32_t, std::filesystem::path>> epochs;
   for (const auto& epoch_entry : root_it) {
     if (!epoch_entry.is_directory()) continue;
-    std::string dir_name = epoch_entry.path().filename().string();
-    if (dir_name.rfind("epoch_", 0) != 0 || dir_name.size() == 6) continue;
     uint32_t epoch = 0;
-    bool numeric = true;
-    for (size_t i = 6; i < dir_name.size(); ++i) {
-      if (!std::isdigit(static_cast<unsigned char>(dir_name[i]))) {
-        numeric = false;
-        break;
-      }
-      epoch = epoch * 10 + static_cast<uint32_t>(dir_name[i] - '0');
-    }
-    if (!numeric) continue;
+    if (!ParseEpochDirName(epoch_entry.path().filename().string(), &epoch)) continue;
     epochs.emplace_back(epoch, epoch_entry.path());
   }
   std::sort(epochs.begin(), epochs.end());
@@ -219,10 +238,19 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
     any_epoch = true;
     max_epoch = std::max(max_epoch, epoch);
     ++report.epochs_found;
+    EpochScanInfo info;
+    info.epoch = epoch;
+    {
+      std::error_code seal_ec;
+      info.sealed = std::filesystem::exists(epoch_path / kSealMarker, seal_ec);
+    }
 
     std::error_code dir_ec;
     std::filesystem::directory_iterator files(epoch_path, dir_ec);
-    if (dir_ec) continue;
+    if (dir_ec) {
+      report.epochs.push_back(info);
+      continue;
+    }
     std::vector<std::filesystem::path> file_paths;
     for (const auto& file : files) {
       if (!file.is_regular_file()) continue;
@@ -241,20 +269,28 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
       };
       if (EndsWith(file_name, ".tmp")) {
         // In-flight write from an interrupted flush: even if complete, the
-        // rename never committed it, so it cannot be trusted.
-        quarantine();
+        // rename never committed it, so it cannot be trusted. A read-only
+        // open may be racing a live writer whose .tmp is about to commit —
+        // leave it alone and report nothing.
+        if (!read_only) quarantine();
         continue;
       }
       if (!EndsWith(file_name, ".prof")) continue;
       ++report.files_checked;
       std::vector<uint8_t> bytes;
-      if (ReadFile(file_path.string(), &bytes).ok() &&
-          DeserializeProfile(bytes).ok()) {
+      Result<ImageProfile> profile = IoError("unread");
+      if (ReadFile(file_path.string(), &bytes).ok()) {
+        profile = DeserializeProfile(bytes);
+      }
+      if (profile.ok()) {
         ++report.files_recovered;
-      } else {
+        ++info.files;
+        info.samples += profile.value().total_samples();
+      } else if (!read_only) {
         quarantine();
       }
     }
+    report.epochs.push_back(info);
   }
   report.next_epoch = any_epoch ? max_epoch + 1 : 0;
   return report;
@@ -262,6 +298,14 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
 
 std::string ProfileDatabase::EpochDir(uint32_t epoch) const {
   return root_ + "/epoch_" + std::to_string(epoch);
+}
+
+std::string ProfileDatabase::SealMarkerPath(uint32_t epoch) const {
+  return EpochDir(epoch) + "/" + kSealMarker;
+}
+
+std::string ProfileDatabase::EpochCacheDir(uint32_t epoch) const {
+  return EpochDir(epoch) + "/.cache";
 }
 
 std::string ProfileDatabase::ProfileFileName(const std::string& image_name,
@@ -286,7 +330,21 @@ std::string ProfileDatabase::LegacyProfileFileName(const std::string& image_name
   return sanitized + "__" + EventTypeName(event) + ".prof";
 }
 
+uint32_t ProfileDatabase::current_epoch() const {
+  std::lock_guard lock(mu_);
+  return current_epoch_;
+}
+
+bool ProfileDatabase::has_open_epoch() const {
+  std::lock_guard lock(mu_);
+  return have_epoch_;
+}
+
 Result<uint32_t> ProfileDatabase::NewEpoch() {
+  if (mode_ == DbOpenMode::kReadOnly) {
+    return FailedPrecondition("database opened read-only");
+  }
+  std::lock_guard lock(mu_);
   uint32_t epoch = have_epoch_ ? current_epoch_ + 1 : next_epoch_;
   std::error_code ec;
   std::filesystem::create_directories(EpochDir(epoch), ec);
@@ -297,36 +355,109 @@ Result<uint32_t> ProfileDatabase::NewEpoch() {
 }
 
 Status ProfileDatabase::WriteProfile(const ImageProfile& profile) {
+  if (mode_ == DbOpenMode::kReadOnly) {
+    return FailedPrecondition("database opened read-only");
+  }
+  std::lock_guard lock(mu_);
+  return WriteLocked(profile, /*merge=*/true);
+}
+
+Status ProfileDatabase::ReplaceProfile(const ImageProfile& profile) {
+  if (mode_ == DbOpenMode::kReadOnly) {
+    return FailedPrecondition("database opened read-only");
+  }
+  std::lock_guard lock(mu_);
+  return WriteLocked(profile, /*merge=*/false);
+}
+
+Status ProfileDatabase::WriteLocked(const ImageProfile& profile, bool merge) {
   if (!have_epoch_) {
-    Result<uint32_t> epoch = NewEpoch();
-    if (!epoch.ok()) return epoch.status();
+    uint32_t epoch = next_epoch_;
+    std::error_code ec;
+    std::filesystem::create_directories(EpochDir(epoch), ec);
+    if (ec) return IoError("cannot create epoch dir: " + ec.message());
+    current_epoch_ = epoch;
+    have_epoch_ = true;
   }
   std::string dir = EpochDir(current_epoch_);
   std::string path = dir + "/" + ProfileFileName(profile.image_name(), profile.event());
   ImageProfile merged = profile;
-  std::vector<uint8_t> existing;
-  bool have_existing = ReadFile(path, &existing).ok();
-  std::string merged_legacy;
-  if (!have_existing) {
-    std::string legacy =
-        dir + "/" + LegacyProfileFileName(profile.image_name(), profile.event());
-    if (legacy != path && ReadFile(legacy, &existing).ok()) {
+  std::string legacy =
+      dir + "/" + LegacyProfileFileName(profile.image_name(), profile.event());
+  if (legacy == path) legacy.clear();
+  if (merge) {
+    std::vector<uint8_t> existing;
+    bool have_existing = ReadFile(path, &existing).ok();
+    if (!have_existing && !legacy.empty() && ReadFile(legacy, &existing).ok()) {
       have_existing = true;
-      merged_legacy = legacy;
+    }
+    if (have_existing) {
+      Result<ImageProfile> prior = DeserializeProfile(existing);
+      if (prior.ok()) merged.Merge(prior.value());
     }
   }
-  if (have_existing) {
-    Result<ImageProfile> prior = DeserializeProfile(existing);
-    if (prior.ok()) merged.Merge(prior.value());
-  }
   DCPI_RETURN_IF_ERROR(WriteFileAtomic(path, SerializeProfile(merged)));
-  // The legacy-named file is folded into the new-named one; drop it so the
-  // image's samples live in exactly one file.
-  if (!merged_legacy.empty()) {
+  // Any legacy-named file is superseded (folded in when merging, replaced
+  // otherwise); drop it so the image's samples live in exactly one file.
+  if (!legacy.empty()) {
     std::error_code ec;
-    std::filesystem::remove(merged_legacy, ec);
+    std::filesystem::remove(legacy, ec);
   }
   return Status::Ok();
+}
+
+Status ProfileDatabase::SealEpoch(uint32_t epoch, uint64_t at_cycles) {
+  if (mode_ == DbOpenMode::kReadOnly) {
+    return FailedPrecondition("database opened read-only");
+  }
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  if (!std::filesystem::is_directory(EpochDir(epoch), ec)) {
+    return NotFound("epoch " + std::to_string(epoch) + " does not exist");
+  }
+  std::string marker =
+      "sealed at_cycles=" + std::to_string(at_cycles) + "\n";
+  return WriteFileAtomic(SealMarkerPath(epoch),
+                         std::vector<uint8_t>(marker.begin(), marker.end()));
+}
+
+Status ProfileDatabase::SealCurrentEpoch(uint64_t at_cycles) {
+  uint32_t epoch = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (!have_epoch_) return FailedPrecondition("no epoch open to seal");
+    epoch = current_epoch_;
+  }
+  return SealEpoch(epoch, at_cycles);
+}
+
+bool ProfileDatabase::IsSealed(uint32_t epoch) const {
+  std::error_code ec;
+  return std::filesystem::exists(SealMarkerPath(epoch), ec);
+}
+
+std::vector<uint32_t> ProfileDatabase::ListEpochs() const {
+  std::vector<uint32_t> epochs;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root_, ec);
+  if (ec) return epochs;
+  for (const auto& entry : it) {
+    if (!entry.is_directory()) continue;
+    uint32_t epoch = 0;
+    if (ParseEpochDirName(entry.path().filename().string(), &epoch)) {
+      epochs.push_back(epoch);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+std::vector<uint32_t> ProfileDatabase::ListSealedEpochs() const {
+  std::vector<uint32_t> sealed;
+  for (uint32_t epoch : ListEpochs()) {
+    if (IsSealed(epoch)) sealed.push_back(epoch);
+  }
+  return sealed;
 }
 
 Result<ImageProfile> ProfileDatabase::ReadProfile(uint32_t epoch,

@@ -8,16 +8,25 @@
 //
 // Durability: profile files are written with WriteFileAtomic (temp + fsync
 // + rename), and the current format (version 3) carries a CRC32 trailer.
-// Opening a database scans the existing epoch_* directories, validates
-// every profile file, quarantines corrupt or in-flight files to
+// Opening a database read-write scans the existing epoch_* directories,
+// validates every profile file, quarantines corrupt or in-flight files to
 // epoch_<N>/.quarantine/, and resumes epoch numbering at max + 1 so a new
 // run never merges into a previous run's epochs. The scan's outcome is
 // exposed as a ScanReport.
+//
+// Continuous operation: the writing daemon seals an epoch when its load
+// maps change (or on a timed roll) by atomically writing an epoch_<N>/
+// .sealed marker before advancing to the next epoch. A sealed epoch is
+// immutable, so analysis tools opened in kReadOnly mode get snapshot-
+// consistent reads of every sealed epoch while collection continues in
+// the live (unsealed) one. Read-only opens never create directories,
+// never quarantine, and treat in-flight .tmp files as invisible.
 
 #ifndef SRC_PROFILEDB_DATABASE_H_
 #define SRC_PROFILEDB_DATABASE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +50,21 @@ std::vector<uint8_t> SerializeProfileV2(const ImageProfile& profile);
 // original format baseline, used by the compression comparison bench.
 std::vector<uint8_t> SerializeProfileFixedWidth(const ImageProfile& profile);
 
+// kReadWrite runs the recovery scan with quarantine and resumes epoch
+// numbering; kReadOnly is for analysis tools reading a database another
+// process may still be writing: no directory creation, no quarantine or
+// renames, in-flight .tmp files invisible, and every mutating call fails.
+enum class DbOpenMode { kReadWrite, kReadOnly };
+
+// Per-epoch outcome of the recovery scan (dcpistats shows these so an
+// operator can watch a continuous run's pipeline progress).
+struct EpochScanInfo {
+  uint32_t epoch = 0;
+  bool sealed = false;       // .sealed marker present at scan time
+  uint64_t files = 0;        // valid .prof files
+  uint64_t samples = 0;      // total samples across those files
+};
+
 // Outcome of the recovery scan a ProfileDatabase runs on open.
 struct ScanReport {
   uint32_t epochs_found = 0;
@@ -48,25 +72,44 @@ struct ScanReport {
   uint64_t files_checked = 0;      // .prof files validated
   uint64_t files_recovered = 0;    // valid profiles retained
   uint64_t files_quarantined = 0;  // corrupt or in-flight files set aside
+  std::vector<EpochScanInfo> epochs;  // ascending epoch order
 
   // "profile db scan: 2 epoch(s), 5 file(s) checked, 4 recovered,
   //  1 quarantined, next epoch 2"
   std::string ToString() const;
+  // One line per epoch: "  epoch 0: 4 file(s), 1234 sample(s), sealed".
+  std::string DetailString() const;
 };
 
 class ProfileDatabase {
  public:
-  // Opens (creating if needed) the database at `root_dir` and runs the
-  // recovery scan; see scan_report() for what it found.
-  explicit ProfileDatabase(std::string root_dir);
+  // Opens (creating if needed, in kReadWrite mode) the database at
+  // `root_dir` and runs the recovery scan; see scan_report() for what it
+  // found.
+  explicit ProfileDatabase(std::string root_dir,
+                           DbOpenMode mode = DbOpenMode::kReadWrite);
 
   // Starts a new epoch (creates the directory); returns its index.
+  //
+  // Thread safety: the epoch cursor (current_epoch/NewEpoch) and all
+  // writes are serialized by an internal mutex, so a concurrent timed
+  // flush and an epoch roll cannot race on the epoch state. The database
+  // still assumes a single *logical* writer per epoch (the daemon):
+  // ReplaceProfile overwrites, so two writers would lose samples.
   Result<uint32_t> NewEpoch();
-  uint32_t current_epoch() const { return current_epoch_; }
+  uint32_t current_epoch() const;
+  // True once an epoch has been opened (by NewEpoch or a first write).
+  bool has_open_epoch() const;
 
   // Merges `profile` into the on-disk file for the current epoch. The write
   // is atomic: on any failure the previous file contents remain intact.
   Status WriteProfile(const ImageProfile& profile);
+
+  // Overwrites the on-disk file for the current epoch with `profile`
+  // (atomically; no read-merge). This is the single-writer daemon's flush
+  // primitive: the daemon keeps the epoch's cumulative profile in memory,
+  // so periodic flushes of the same epoch must replace, not re-merge.
+  Status ReplaceProfile(const ImageProfile& profile);
 
   Result<ImageProfile> ReadProfile(uint32_t epoch, const std::string& image_name,
                                    EventType event) const;
@@ -75,10 +118,30 @@ class ProfileDatabase {
   // files excluded).
   Result<std::vector<std::string>> ListProfiles(uint32_t epoch) const;
 
+  // ---- Sealed-epoch lifecycle ----
+
+  // Atomically writes epoch_<N>/.sealed, marking the epoch immutable.
+  // `at_cycles` records the simulated seal time in the marker.
+  Status SealEpoch(uint32_t epoch, uint64_t at_cycles = 0);
+  // Seals the epoch the cursor points at (error if no epoch is open yet).
+  Status SealCurrentEpoch(uint64_t at_cycles = 0);
+  bool IsSealed(uint32_t epoch) const;
+
+  // Fresh directory scans (not cached), ascending: every epoch present,
+  // and the subset carrying a .sealed marker. Concurrent readers poll
+  // ListSealedEpochs to grow their consistent prefix while the writer
+  // rolls.
+  std::vector<uint32_t> ListEpochs() const;
+  std::vector<uint32_t> ListSealedEpochs() const;
+
   uint64_t DiskUsageBytes() const;
 
   const std::string& root() const { return root_; }
+  DbOpenMode mode() const { return mode_; }
   const ScanReport& scan_report() const { return scan_report_; }
+
+  // The result-cache directory the analysis engine uses for an epoch.
+  std::string EpochCacheDir(uint32_t epoch) const;
 
   // File name for an (image, event) pair. '_' escapes to "__" and '/' to
   // "_s", so distinct image names never collide ("a/b" vs "a_b").
@@ -91,10 +154,16 @@ class ProfileDatabase {
 
  private:
   std::string EpochDir(uint32_t epoch) const;
+  std::string SealMarkerPath(uint32_t epoch) const;
   ScanReport ScanAndRecover() const;
+  Status WriteLocked(const ImageProfile& profile, bool merge);
 
   std::string root_;
+  DbOpenMode mode_ = DbOpenMode::kReadWrite;
   ScanReport scan_report_;
+
+  // Guards the epoch cursor and serializes writes (see NewEpoch).
+  mutable std::mutex mu_;
   uint32_t current_epoch_ = 0;
   uint32_t next_epoch_ = 0;  // first epoch a fresh write lands in
   bool have_epoch_ = false;

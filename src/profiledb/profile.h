@@ -30,6 +30,10 @@ class ImageProfile {
   void AddSamples(uint64_t offset, uint64_t count) { counts_[offset] += count; }
   void Merge(const ImageProfile& other);
 
+  // Drops all counts but keeps identity and mean period: the daemon resets
+  // its aggregation slots this way at an epoch roll.
+  void ClearCounts() { counts_.clear(); }
+
   // Samples at an offset (0 if none).
   uint64_t SamplesAt(uint64_t offset) const {
     auto it = counts_.find(offset);

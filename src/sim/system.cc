@@ -77,16 +77,28 @@ System::System(const SystemConfig& config) : config_(config) {
     }
   }
   daemon_ = std::make_unique<Daemon>(driver_.get(), database_.get(), mean_periods);
+  EpochPolicy policy;
+  policy.flush_interval_cycles = config.daemon_flush_interval;
+  policy.roll_on_map_change = config.roll_on_map_change;
+  daemon_->set_epoch_policy(policy);
 }
 
 void System::RunSequential(uint64_t max_cycles) {
-  uint64_t next_drain = config_.daemon_drain_interval;
+  // Elapsed-relative so repeated Run segments (continuous mode) keep the
+  // historical drain cadence instead of replaying already-passed times.
+  uint64_t next_drain = kernel_->ElapsedCycles() + config_.daemon_drain_interval;
   while (true) {
     uint64_t chunk_end = std::min(max_cycles, next_drain);
     kernel_->Run(chunk_end);
     if (daemon_ != nullptr) {
-      daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+      // Drain the chunk's samples before processing its loader events:
+      // loads only happen before Run (at process creation), so mid-run
+      // events are exits, and counting the chunk's samples first lets an
+      // exit schedule the epoch roll it should.
       driver_->FlushAll();
+      daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+      Status ticked = daemon_->TickAtQuiescePoint(kernel_->ElapsedCycles());
+      (void)ticked;  // roll/flush failures surface at the final flush
     }
     bool all_done = true;
     for (const auto& p : kernel_->processes()) {
@@ -101,7 +113,7 @@ void System::CpuWorker(uint32_t cpu, uint64_t max_cycles) {
   SplitMix64 jitter(static_cast<uint64_t>(config_.host_jitter_seed) * 0x9e3779b9ull +
                     cpu * 127ull + 1);
   const bool use_jitter = config_.host_jitter_seed != 0;
-  uint64_t next_drain = config_.daemon_drain_interval;
+  uint64_t next_drain = kernel_->cpu(cpu).now() + config_.daemon_drain_interval;
   while (true) {
     uint64_t chunk_end = std::min(max_cycles, next_drain);
     bool done = kernel_->RunCpuShard(cpu, chunk_end);
@@ -110,6 +122,9 @@ void System::CpuWorker(uint32_t cpu, uint64_t max_cycles) {
     // hash table's hit/miss (and therefore timing) behaviour — does not
     // depend on host scheduling.
     if (driver_ != nullptr) driver_->FlushCpu(cpu);
+    // Publish this CPU's clock (atomic max across CPUs) so the drain
+    // thread's timed flushes fire against simulated, not host, time.
+    if (daemon_ != nullptr) daemon_->PublishSimTime(kernel_->cpu(cpu).now());
     if (use_jitter && (jitter.Next() & 1) != 0) std::this_thread::yield();
     if (done || kernel_->cpu(cpu).now() >= max_cycles) break;
     next_drain += config_.daemon_drain_interval;
@@ -154,6 +169,11 @@ SystemResult System::BuildResult() {
 }
 
 SystemResult System::Run(uint64_t max_cycles) {
+  // Load maps first (all images were mapped at process-creation time), so
+  // the first drained sample of the segment can always be attributed.
+  if (daemon_ != nullptr) {
+    daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+  }
   const bool threaded = config_.threaded_collection && config_.kernel.num_cpus > 1;
   if (threaded) {
     RunThreaded(max_cycles);
@@ -163,11 +183,26 @@ SystemResult System::Run(uint64_t max_cycles) {
   Status flushed = Status::Ok();
   if (daemon_ != nullptr) {
     daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+    // End of segment = quiesce point: execute any roll the segment's map
+    // changes scheduled, and any timed flush that came due.
+    Status ticked = daemon_->TickAtQuiescePoint(kernel_->ElapsedCycles());
     flushed = daemon_->FlushToDatabase();
+    if (flushed.ok()) flushed = ticked;
   }
   SystemResult result = BuildResult();
   result.had_error = result.had_error || !flushed.ok();
   return result;
+}
+
+Status System::RollEpoch() {
+  if (daemon_ == nullptr) return Status::Ok();
+  daemon_->ProcessLoaderEvents(kernel_->DrainLoaderEvents());
+  return daemon_->RollEpoch(kernel_->ElapsedCycles());
+}
+
+Status System::SealCurrentEpoch() {
+  if (daemon_ == nullptr) return Status::Ok();
+  return daemon_->SealCurrentEpoch(kernel_->ElapsedCycles());
 }
 
 }  // namespace dcpi

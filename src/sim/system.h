@@ -56,6 +56,13 @@ struct SystemConfig {
   // Drain the driver every this many simulated cycles (the paper's daemon
   // wakes every 5 minutes; scaled down to simulation length).
   uint64_t daemon_drain_interval = 20'000'000;
+  // Continuous operation: flush the daemon's in-memory profiles to the
+  // database every this many simulated cycles (0 keeps the historical
+  // flush-once-at-shutdown behaviour).
+  uint64_t daemon_flush_interval = 0;
+  // Continuous operation: seal + advance the epoch when the image map
+  // changes (process exec/exit). Rolls execute at quiesce points only.
+  bool roll_on_map_change = false;
   // One host thread per simulated CPU when num_cpus > 1 (plus a concurrent
   // daemon drain thread). Set false to force the sequential scheduler.
   bool threaded_collection = true;
@@ -95,8 +102,14 @@ class System {
 
   // Runs the workload to completion (or the cycle cap), draining the daemon
   // periodically, then performs the final flush. Returns the aggregate
-  // result used by the overhead tables.
+  // result used by the overhead tables. Callable repeatedly: a continuous
+  // run is a sequence of Run segments with epoch rolls between them.
   SystemResult Run(uint64_t max_cycles = ~0ull);
+
+  // Quiesce-point epoch controls (between Run segments). Both are no-ops
+  // without a profiling daemon.
+  Status RollEpoch();
+  Status SealCurrentEpoch();
 
  private:
   void RunSequential(uint64_t max_cycles);

@@ -3,7 +3,18 @@
 // images for the offline tools.
 //
 // Usage:
-//   dcpi_sim <workload> <output_dir> [mode=default] [scale=0.25] [cpus]
+//   dcpi_sim [--continuous] [--epochs N] [--quanta Q]
+//            <workload> <output_dir> [mode=default] [scale=0.25] [cpus]
+//
+// Batch mode (the default) runs the workload to completion into one epoch
+// and seals it on clean shutdown. --continuous reproduces the paper's
+// always-on operation: the workload is re-instantiated and run for Q
+// scheduler quanta per epoch (--quanta, default 400), then the epoch is
+// sealed and rolled, N times (--epochs, default 3). Process exits between
+// segments change the image map, so the daemon's map-change trigger and
+// the periodic timed flush both exercise; the offline tools can read the
+// sealed epochs (dcpiprof --all-epochs) while a longer run is still
+// writing.
 //
 // Workloads: copy scale sum triad specfp specint gcc x11perf altavista dss
 //            parallel_specfp timesharing pointer_chase branch_heavy
@@ -44,21 +55,43 @@ Workload MakeWorkload(WorkloadFactory& factory, const std::string& name) {
   std::exit(2);
 }
 
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcpi_sim [--continuous] [--epochs N] [--quanta Q] "
+               "<workload> <output_dir> [mode] [scale] [cpus]\n");
+  return 2;
+}
+
 }  // namespace
 }  // namespace dcpi
 
 int main(int argc, char** argv) {
   using namespace dcpi;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: dcpi_sim <workload> <output_dir> [mode] [scale] [cpus]\n");
-    return 2;
+  bool continuous = false;
+  int num_epochs = 3;
+  uint64_t quanta_per_epoch = 400;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--continuous") == 0) {
+      continuous = true;
+    } else if (std::strcmp(argv[arg], "--epochs") == 0 && arg + 1 < argc) {
+      num_epochs = std::atoi(argv[++arg]);
+      if (num_epochs < 1) return Usage();
+    } else if (std::strcmp(argv[arg], "--quanta") == 0 && arg + 1 < argc) {
+      quanta_per_epoch = static_cast<uint64_t>(std::atoll(argv[++arg]));
+      if (quanta_per_epoch == 0) return Usage();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+      return 2;
+    }
+    ++arg;
   }
-  std::string workload_name = argv[1];
-  std::string out_dir = argv[2];
-  std::string mode_name = argc > 3 ? argv[3] : "default";
-  double scale = argc > 4 ? std::atof(argv[4]) : 0.25;
-  uint32_t cpus = argc > 5 ? static_cast<uint32_t>(std::atoi(argv[5])) : 0;
+  if (argc - arg < 2) return Usage();
+  std::string workload_name = argv[arg];
+  std::string out_dir = argv[arg + 1];
+  std::string mode_name = argc - arg > 2 ? argv[arg + 2] : "default";
+  double scale = argc - arg > 3 ? std::atof(argv[arg + 3]) : 0.25;
+  uint32_t cpus = argc - arg > 4 ? static_cast<uint32_t>(std::atoi(argv[arg + 4])) : 0;
 
   WorkloadFactory factory(scale);
   Workload workload = MakeWorkload(factory, workload_name);
@@ -69,30 +102,71 @@ int main(int argc, char** argv) {
                                       : ProfilingMode::kDefault;
   config.period_scale = 1.0 / 16;  // dense sampling for offline analysis
   config.db_root = out_dir + "/db";
-  System system(config);
-  Status status = workload.Instantiate(&system);
-  if (!status.ok()) {
-    std::fprintf(stderr, "instantiate failed: %s\n", status.ToString().c_str());
-    return 1;
+  if (continuous) {
+    // Continuous operation: flush the cumulative profiles at every drain
+    // interval and let image-map changes (the per-epoch process exits)
+    // schedule rolls at quiesce points.
+    config.daemon_flush_interval = config.daemon_drain_interval;
+    config.roll_on_map_change = true;
   }
-  SystemResult result = system.Run();
+  System system(config);
 
-  // Save images for the offline tools.
-  std::filesystem::create_directories(out_dir + "/images");
-  int image_index = 0;
+  SystemResult result;
+  const uint64_t epoch_cycles = quanta_per_epoch * config.kernel.quantum_cycles;
+  const int segments = continuous ? num_epochs : 1;
   bool save_failed = false;
-  for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
-    std::string path = out_dir + "/images/image_" + std::to_string(image_index++) + ".img";
-    Status saved = SaveImage(*truth.image, path);
-    if (!saved.ok()) {
-      std::fprintf(stderr, "cannot save image: %s\n", saved.ToString().c_str());
-      save_failed = true;
+  for (int segment = 0; segment < segments; ++segment) {
+    // Each segment gets a fresh instantiation of the workload: new
+    // processes, new image mappings — the exec/exit churn that delimits
+    // epochs in the paper's continuous runs.
+    Status status = workload.Instantiate(&system);
+    if (!status.ok()) {
+      std::fprintf(stderr, "instantiate failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (segment == 0) {
+      // The image set is known once the workload is mapped; save it up
+      // front so the offline tools can read a continuous run mid-flight.
+      std::filesystem::create_directories(out_dir + "/images");
+      int image_index = 0;
+      for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
+        std::string path =
+            out_dir + "/images/image_" + std::to_string(image_index++) + ".img";
+        Status saved = SaveImage(*truth.image, path);
+        if (!saved.ok()) {
+          std::fprintf(stderr, "cannot save image: %s\n",
+                       saved.ToString().c_str());
+          save_failed = true;
+        }
+      }
+    }
+    uint64_t cap = continuous
+                       ? system.kernel().ElapsedCycles() + epoch_cycles
+                       : ~0ull;
+    result = system.Run(cap);
+    if (result.had_error) break;
+    if (continuous && segment + 1 < segments) {
+      Status rolled = system.RollEpoch();
+      if (!rolled.ok()) {
+        std::fprintf(stderr, "epoch roll failed: %s\n", rolled.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  // Seal the final epoch on clean shutdown, so every epoch of a finished
+  // run is analyzable the same way (the tools default to sealed epochs).
+  if (!result.had_error) {
+    Status sealed = system.SealCurrentEpoch();
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "seal failed: %s\n", sealed.ToString().c_str());
+      return 1;
     }
   }
 
-  std::printf("workload:        %s (%s mode, %u cpu%s)\n", workload.name.c_str(),
+  std::printf("workload:        %s (%s mode, %u cpu%s%s)\n", workload.name.c_str(),
               ProfilingModeName(config.mode), config.kernel.num_cpus,
-              config.kernel.num_cpus == 1 ? "" : "s");
+              config.kernel.num_cpus == 1 ? "" : "s",
+              continuous ? ", continuous" : "");
   std::printf("elapsed cycles:  %llu\n",
               static_cast<unsigned long long>(result.elapsed_cycles));
   std::printf("instructions:    %llu\n",
@@ -100,8 +174,12 @@ int main(int argc, char** argv) {
   std::printf("cycles samples:  %llu\n",
               static_cast<unsigned long long>(
                   result.samples[static_cast<int>(EventType::kCycles)]));
-  std::printf("profile db:      %s (epoch %u)\n", config.db_root.c_str(),
-              system.database()->current_epoch());
+  std::printf("epoch rolls:     %llu (%llu timed flush(es))\n",
+              static_cast<unsigned long long>(result.daemon.epoch_rolls),
+              static_cast<unsigned long long>(result.daemon.timed_flushes));
+  std::printf("profile db:      %s (%zu epoch(s), %zu sealed)\n",
+              config.db_root.c_str(), system.database()->ListEpochs().size(),
+              system.database()->ListSealedEpochs().size());
   std::printf("images:          %s/images/\n", out_dir.c_str());
   return (result.had_error || save_failed) ? 1 : 0;
 }

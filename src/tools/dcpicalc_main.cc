@@ -1,15 +1,18 @@
 // dcpicalc CLI: instruction-level analysis of one procedure.
 //
 // Usage:
-//   dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache] <db_root> <epoch>
-//            <image_file> <procedure>
+//   dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache]
+//            [--epoch N]... [--all-epochs] <db_root> <image_file> <procedure>
 //
 // Prints the Figure 2 style annotated listing; -s prints the Figure 4
 // style stall summary instead. --selfcheck additionally runs the src/check
 // verification passes over the analysis and fails (exit 1) on violations.
-// The analysis runs through the AnalysisEngine: results are cached under
-// <db_root>/epoch_<N>/.cache (content-addressed; --no-cache disables) and
-// --jobs sizes the worker pool shared with the other tools.
+// Epoch selection is shared with the other tools (toolkit.h): the default
+// is the latest sealed epoch; with several epochs the profiles are merged
+// before analysis. The analysis runs through the AnalysisEngine: results
+// are cached content-addressed under <db_root>/epoch_<N>/.cache for a
+// single epoch (or <db_root>/.cache for a merged set; --no-cache
+// disables), and --jobs sizes the worker pool shared with the other tools.
 
 #include <cstdio>
 #include <cstring>
@@ -18,70 +21,86 @@
 
 #include "src/analysis/engine.h"
 #include "src/check/selfcheck.h"
-#include "src/isa/image_io.h"
-#include "src/profiledb/database.h"
 #include "src/tools/dcpicalc.h"
+#include "src/tools/toolkit.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache] "
+               "[--epoch N]... [--all-epochs] <db_root> <image_file> "
+               "<procedure>\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcpi;
   bool summary = false;
   bool selfcheck = false;
-  bool use_cache = true;
-  int jobs = 0;
+  ToolOptions options;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
-    if (std::strcmp(argv[arg], "-s") == 0) {
-      summary = true;
-    } else if (std::strcmp(argv[arg], "--selfcheck") == 0) {
-      selfcheck = true;
-    } else if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
-      jobs = std::atoi(argv[++arg]);
-    } else if (std::strcmp(argv[arg], "--no-cache") == 0) {
-      use_cache = false;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
-      return 2;
+    int shared = ParseToolFlag(argc, argv, &arg, &options);
+    if (shared < 0) return Usage();
+    if (shared == 0) {
+      if (std::strcmp(argv[arg], "-s") == 0) {
+        summary = true;
+      } else if (std::strcmp(argv[arg], "--selfcheck") == 0) {
+        selfcheck = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+        return 2;
+      }
     }
     ++arg;
   }
-  if (argc - arg < 4) {
-    std::fprintf(stderr,
-                 "usage: dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache] "
-                 "<db_root> <epoch> <image_file> <procedure>\n");
-    return 2;
-  }
-  ProfileDatabase db(argv[arg]);
-  uint32_t epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
-  Result<std::shared_ptr<ExecutableImage>> image = LoadImage(argv[arg + 2]);
-  if (!image.ok()) {
-    std::fprintf(stderr, "cannot load image: %s\n", image.status().ToString().c_str());
+  if (argc - arg < 3) return Usage();
+  const std::string db_root = argv[arg];
+
+  Result<ToolContext> context = OpenToolDatabase(db_root, options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "%s\n", context.status().ToString().c_str());
     return 1;
   }
-  const ProcedureSymbol* proc = image.value()->FindProcedureByName(argv[arg + 3]);
+  const ToolContext& ctx = context.value();
+  Result<std::vector<std::shared_ptr<ExecutableImage>>> images =
+      LoadImageSet({argv[arg + 1]}, options.jobs);
+  if (!images.ok()) {
+    std::fprintf(stderr, "%s\n", images.status().ToString().c_str());
+    return 1;
+  }
+  const std::shared_ptr<ExecutableImage>& image = images.value()[0];
+  const ProcedureSymbol* proc = image->FindProcedureByName(argv[arg + 2]);
   if (proc == nullptr) {
-    std::fprintf(stderr, "no procedure %s in %s\n", argv[arg + 3],
-                 image.value()->name().c_str());
+    std::fprintf(stderr, "no procedure %s in %s\n", argv[arg + 2],
+                 image->name().c_str());
     return 1;
   }
   Result<ImageProfile> cycles =
-      db.ReadProfile(epoch, image.value()->name(), EventType::kCycles);
+      ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kCycles);
   if (!cycles.ok()) {
     std::fprintf(stderr, "no cycles profile: %s\n", cycles.status().ToString().c_str());
     return 1;
   }
   std::optional<ImageProfile> imiss;
   Result<ImageProfile> imiss_result =
-      db.ReadProfile(epoch, image.value()->name(), EventType::kImiss);
-  if (imiss_result.ok()) imiss = std::move(imiss_result.value());
+      ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kImiss);
+  if (imiss_result.ok()) imiss = std::move(imiss_result).value();
 
   AnalysisConfig config;
   config.selfcheck = selfcheck;
 
   EngineOptions engine_options;
-  engine_options.jobs = jobs;
-  if (use_cache) {
-    engine_options.cache_dir =
-        std::string(argv[arg]) + "/epoch_" + std::to_string(epoch) + "/.cache";
+  engine_options.jobs = options.jobs;
+  if (options.use_cache) {
+    // A merged profile set gets its own cache namespace at the database
+    // root; the content-addressed keys keep it disjoint per epoch set.
+    engine_options.cache_dir = ctx.epochs.size() == 1
+                                   ? ctx.db->EpochCacheDir(ctx.epochs[0])
+                                   : db_root + "/.cache";
   }
   engine_options.analyze =
       [](const ExecutableImage& img, const ProcedureSymbol& p,
@@ -93,7 +112,7 @@ int main(int argc, char** argv) {
   AnalysisEngine engine(std::move(engine_options));
 
   AnalysisInput input;
-  input.image = image.value();
+  input.image = image;
   input.cycles = &cycles.value();
   if (imiss.has_value()) input.imiss = &*imiss;
   ProcedureResult result = engine.AnalyzeOne(input, *proc, config);
@@ -105,7 +124,7 @@ int main(int argc, char** argv) {
   if (summary) {
     std::fputs(FormatStallSummary(analysis).c_str(), stdout);
   } else {
-    std::fputs(FormatCalcListing(*image.value(), analysis).c_str(), stdout);
+    std::fputs(FormatCalcListing(*image, analysis).c_str(), stdout);
   }
   if (selfcheck) {
     const CheckReport& report = analysis.selfcheck_report;

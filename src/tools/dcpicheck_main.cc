@@ -1,47 +1,67 @@
 // dcpicheck CLI: static verification of a profile database + image set.
 //
 // Usage:
-//   dcpicheck [--jobs N] [--no-cache] <db_root> <epoch> <image_file>...
+//   dcpicheck [--jobs N] [--no-cache] [--epoch N]... [--all-epochs]
+//             <db_root> <image_file>...
 //
 // Runs all five verification passes (image lint, CFG structure,
 // differential cycle equivalence, flow conservation, schedule invariants)
-// and prints a structured report. Procedure analyses fan out over --jobs
-// worker threads (default: hardware concurrency) and are cached under
-// <db_root>/epoch_<N>/.cache keyed by image/profile/config content; the
-// report is byte-identical for any jobs count and cold or warm cache.
-// Exits 0 when no errors were found, 1 on violations or unreadable
-// inputs, 2 on usage errors.
+// and prints a structured report. Epoch selection is shared with the other
+// tools (toolkit.h): by default the latest sealed epoch is checked;
+// --all-epochs checks every sealed epoch, each through its own result
+// cache under <db_root>/epoch_<N>/.cache. Procedure analyses fan out over
+// --jobs worker threads (default: hardware concurrency); the report is
+// byte-identical for any jobs count and cold or warm cache. Exits 0 when
+// no errors were found, 1 on violations or unreadable inputs, 2 on usage
+// errors.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/check/dcpicheck.h"
+#include "src/tools/toolkit.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcpicheck [--jobs N] [--no-cache] [--epoch N]... "
+               "[--all-epochs] <db_root> <image_file>...\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcpi;
-  DcpicheckOptions options;
+  ToolOptions tool_options;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
-    if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
-      options.jobs = std::atoi(argv[++arg]);
-    } else if (std::strcmp(argv[arg], "--no-cache") == 0) {
-      options.use_cache = false;
-    } else {
+    int shared = ParseToolFlag(argc, argv, &arg, &tool_options);
+    if (shared < 0) return Usage();
+    if (shared == 0) {
       std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
       return 2;
     }
     ++arg;
   }
-  if (argc - arg < 3) {
-    std::fprintf(stderr,
-                 "usage: dcpicheck [--jobs N] [--no-cache] <db_root> <epoch> "
-                 "<image_file>...\n");
-    return 2;
+  if (argc - arg < 2) return Usage();
+  const std::string db_root = argv[arg];
+
+  Result<ToolContext> context = OpenToolDatabase(db_root, tool_options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "%s\n", context.status().ToString().c_str());
+    return 1;
   }
-  options.db_root = argv[arg];
-  options.epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
-  for (int i = arg + 2; i < argc; ++i) options.image_files.push_back(argv[i]);
+
+  DcpicheckOptions options;
+  options.db_root = db_root;
+  options.epochs = context.value().epochs;
+  options.jobs = tool_options.jobs;
+  options.use_cache = tool_options.use_cache;
+  for (int i = arg + 1; i < argc; ++i) options.image_files.push_back(argv[i]);
 
   CheckReport report = RunDcpicheck(options);
   std::fputs(report.ToString().c_str(), stdout);

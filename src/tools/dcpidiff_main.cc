@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
                  "usage: dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...\n");
     return 2;
   }
-  ProfileDatabase db(argv[1]);
+  // Read-only, like every other reader tool: dcpidiff may run against a
+  // database a daemon is still writing.
+  ProfileDatabase db(argv[1], DbOpenMode::kReadOnly);
   uint32_t epoch_before = static_cast<uint32_t>(std::atoi(argv[2]));
   uint32_t epoch_after = static_cast<uint32_t>(std::atoi(argv[3]));
 

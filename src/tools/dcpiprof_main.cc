@@ -1,13 +1,19 @@
 // dcpiprof CLI: procedure/image listings from an on-disk profile database.
 //
 // Usage:
-//   dcpiprof [-i] [--jobs N] <db_root> <epoch> <image_file>...
+//   dcpiprof [-i] [--jobs N] [--epoch N]... [--all-epochs]
+//            <db_root> <image_file>...
 //
 // Each image_file is a serialized ExecutableImage (see dcpi_sim, which
 // writes them next to the database). -i lists by image instead of by
-// procedure. Image and profile loads fan out over --jobs worker threads
-// (default: hardware concurrency); the listing is assembled in input
-// order, so output is byte-identical for any jobs count.
+// procedure. Epoch selection is shared with the other tools (toolkit.h):
+// by default the latest sealed epoch is listed; --epoch N (repeatable)
+// names epochs explicitly; --all-epochs merges every sealed epoch, which
+// is safe to run while a daemon is still writing — the database is opened
+// read-only and sealed epochs are immutable. Image and profile loads fan
+// out over --jobs worker threads (default: hardware concurrency); the
+// listing is assembled in input order, so output is byte-identical for any
+// jobs count.
 
 #include <cstdio>
 #include <cstring>
@@ -15,80 +21,89 @@
 #include <string>
 #include <vector>
 
-#include "src/isa/image_io.h"
-#include "src/profiledb/database.h"
 #include "src/support/thread_pool.h"
 #include "src/tools/dcpiprof.h"
+#include "src/tools/toolkit.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcpiprof [-i] [--jobs N] [--epoch N]... [--all-epochs] "
+               "<db_root> <image_file>...\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcpi;
   bool by_image = false;
-  int jobs = 0;
+  ToolOptions options;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
-    if (std::strcmp(argv[arg], "-i") == 0) {
-      by_image = true;
-    } else if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
-      jobs = std::atoi(argv[++arg]);
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
-      return 2;
+    int shared = ParseToolFlag(argc, argv, &arg, &options);
+    if (shared < 0) return Usage();
+    if (shared == 0) {
+      if (std::strcmp(argv[arg], "-i") == 0) {
+        by_image = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+        return 2;
+      }
     }
     ++arg;
   }
-  if (argc - arg < 3) {
-    std::fprintf(stderr, "usage: dcpiprof [-i] [--jobs N] <db_root> <epoch> "
-                         "<image_file>...\n");
-    return 2;
-  }
-  ProfileDatabase db(argv[arg]);
-  uint32_t epoch = static_cast<uint32_t>(std::atoi(argv[arg + 1]));
+  if (argc - arg < 2) return Usage();
+  const std::string db_root = argv[arg];
+  std::vector<std::string> image_paths(argv + arg + 1, argv + argc);
 
-  // One slot per image file, loaded in parallel and assembled in input
-  // order below (slots keep the profiles at stable addresses).
+  Result<ToolContext> context = OpenToolDatabase(db_root, options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "%s\n", context.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<std::shared_ptr<ExecutableImage>>> images =
+      LoadImageSet(image_paths, options.jobs);
+  if (!images.ok()) {
+    std::fprintf(stderr, "%s\n", images.status().ToString().c_str());
+    return 1;
+  }
+
+  // One slot per image, profiles merged across the resolved epochs in
+  // parallel and assembled in input order below (slots keep the profiles
+  // at stable addresses).
+  const ToolContext& ctx = context.value();
   struct Slot {
-    std::string file;
-    Status load_status;
-    std::shared_ptr<ExecutableImage> image;
     std::optional<ImageProfile> cycles, secondary;
   };
-  std::vector<Slot> slots(static_cast<size_t>(argc - arg - 2));
-  for (size_t i = 0; i < slots.size(); ++i) {
-    slots[i].file = argv[arg + 2 + static_cast<int>(i)];
-  }
-  ThreadPool pool(jobs);
+  std::vector<Slot> slots(images.value().size());
+  ThreadPool pool(options.jobs);
   pool.ParallelFor(slots.size(), [&](size_t i, int) {
-    Slot& slot = slots[i];
-    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(slot.file);
-    slot.load_status = image.status();
-    if (!image.ok()) return;
-    slot.image = image.value();
+    const auto& image = images.value()[i];
     Result<ImageProfile> cycles =
-        db.ReadProfile(epoch, slot.image->name(), EventType::kCycles);
-    if (!cycles.ok()) return;  // image not profiled in this epoch
-    slot.cycles = std::move(cycles.value());
+        ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kCycles);
+    if (!cycles.ok()) return;  // image not profiled in these epochs
+    slots[i].cycles = std::move(cycles).value();
     Result<ImageProfile> imiss =
-        db.ReadProfile(epoch, slot.image->name(), EventType::kImiss);
-    if (imiss.ok()) slot.secondary = std::move(imiss.value());
+        ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kImiss);
+    if (imiss.ok()) slots[i].secondary = std::move(imiss).value();
   });
 
   std::vector<ProfInput> inputs;
-  for (const Slot& slot : slots) {
-    if (!slot.load_status.ok()) {
-      std::fprintf(stderr, "cannot load image %s: %s\n", slot.file.c_str(),
-                   slot.load_status.ToString().c_str());
-      return 1;
-    }
-    if (!slot.cycles.has_value()) continue;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].cycles.has_value()) continue;
     ProfInput input;
-    input.image = slot.image;
-    input.cycles = &*slot.cycles;
-    if (slot.secondary.has_value()) input.secondary = &*slot.secondary;
+    input.image = images.value()[i];
+    input.cycles = &*slots[i].cycles;
+    if (slots[i].secondary.has_value()) input.secondary = &*slots[i].secondary;
     inputs.push_back(input);
   }
   if (inputs.empty()) {
-    std::fprintf(stderr, "no CYCLES profiles for the given images in epoch %u of %s\n",
-                 epoch, argv[arg]);
+    std::fprintf(stderr,
+                 "no CYCLES profiles for the given images in the requested "
+                 "epoch(s) of %s\n",
+                 db_root.c_str());
     return 1;
   }
   if (by_image) {

@@ -1,12 +1,19 @@
-// dcpistats CLI: cross-run variance statistics. Each epoch of the profile
-// database is one sample set (one run).
+// dcpistats CLI: cross-epoch variance statistics. Each epoch of the
+// profile database is one sample set (one run, or one epoch of a
+// continuous run).
 //
 // Usage:
-//   dcpistats [--jobs N] <db_root> <epoch>... -- <image_file>...
+//   dcpistats [--jobs N] [--epoch N]... [--all-epochs]
+//             <db_root> <image_file>...
 //
-// Profile reads fan out over --jobs worker threads (default: hardware
-// concurrency); sample sets are assembled in epoch order, so output is
-// byte-identical for any jobs count.
+// By default every sealed epoch is a sample set (a fresh batch database
+// with no seals uses every epoch); --epoch N (repeatable) names epochs
+// explicitly. At least two epochs must resolve. The recovery-scan summary
+// plus per-epoch file/sample/seal details are printed to stderr, so an
+// operator can watch a continuous run's pipeline progress. Profile reads
+// fan out over --jobs worker threads (default: hardware concurrency);
+// sample sets are assembled in epoch order, so output is byte-identical
+// for any jobs count.
 
 #include <cstdio>
 #include <cstring>
@@ -14,85 +21,87 @@
 #include <string>
 #include <vector>
 
-#include "src/isa/image_io.h"
-#include "src/profiledb/database.h"
 #include "src/support/thread_pool.h"
 #include "src/tools/dcpiprof.h"
 #include "src/tools/dcpistats.h"
+#include "src/tools/toolkit.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcpistats [--jobs N] [--epoch N]... [--all-epochs] "
+               "<db_root> <image_file>...\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcpi;
-  int jobs = 0;
+  ToolOptions options;
   int arg = 1;
-  while (arg < argc && argv[arg][0] == '-' && std::strcmp(argv[arg], "--") != 0) {
-    if (std::strcmp(argv[arg], "--jobs") == 0 && arg + 1 < argc) {
-      jobs = std::atoi(argv[++arg]);
-    } else {
+  while (arg < argc && argv[arg][0] == '-') {
+    int shared = ParseToolFlag(argc, argv, &arg, &options);
+    if (shared < 0) return Usage();
+    if (shared == 0) {
       std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
       return 2;
     }
     ++arg;
   }
-  std::vector<uint32_t> epochs;
-  std::vector<std::string> image_paths;
-  bool after_separator = false;
-  if (argc - arg < 4) {
-    std::fprintf(stderr,
-                 "usage: dcpistats [--jobs N] <db_root> <epoch>... -- "
-                 "<image_file>...\n");
-    return 2;
-  }
-  for (int i = arg + 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--") == 0) {
-      after_separator = true;
-      continue;
-    }
-    if (after_separator) {
-      image_paths.push_back(argv[i]);
-    } else {
-      epochs.push_back(static_cast<uint32_t>(std::atoi(argv[i])));
-    }
-  }
-  if (epochs.size() < 2 || image_paths.empty()) {
-    std::fprintf(stderr, "need at least two epochs and one image\n");
-    return 2;
-  }
+  if (argc - arg < 2) return Usage();
+  const std::string db_root = argv[arg];
+  std::vector<std::string> image_paths(argv + arg + 1, argv + argc);
 
-  ProfileDatabase db(argv[arg]);
-  const ScanReport& scan = db.scan_report();
-  if (scan.files_checked > 0 || scan.files_quarantined > 0) {
-    std::fprintf(stderr, "%s\n", scan.ToString().c_str());
+  // Statistics want every epoch by default, not just the latest.
+  if (options.epochs.empty()) options.all_epochs = true;
+  Result<ToolContext> context = OpenToolDatabase(db_root, options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "%s\n", context.status().ToString().c_str());
+    return 1;
   }
-  std::vector<std::shared_ptr<ExecutableImage>> images;
-  for (const std::string& path : image_paths) {
-    Result<std::shared_ptr<ExecutableImage>> image = LoadImage(path);
-    if (!image.ok()) {
-      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
-                   image.status().ToString().c_str());
-      return 1;
-    }
-    images.push_back(image.value());
+  const ToolContext& ctx = context.value();
+  const ScanReport& scan = ctx.db->scan_report();
+  if (scan.files_checked > 0 || scan.files_quarantined > 0) {
+    std::fprintf(stderr, "%s\n%s", scan.ToString().c_str(),
+                 scan.DetailString().c_str());
+  }
+  if (ctx.epochs.size() < 2) {
+    std::fprintf(stderr,
+                 "dcpistats needs at least two epochs to compare (resolved "
+                 "%zu in %s)\n",
+                 ctx.epochs.size(), db_root.c_str());
+    return 1;
+  }
+  Result<std::vector<std::shared_ptr<ExecutableImage>>> images =
+      LoadImageSet(image_paths, options.jobs);
+  if (!images.ok()) {
+    std::fprintf(stderr, "%s\n", images.status().ToString().c_str());
+    return 1;
   }
 
   // Read every (epoch, image) CYCLES profile in parallel into a flat grid,
   // then fold into per-epoch sample sets in order.
-  std::vector<std::optional<ImageProfile>> grid(epochs.size() * images.size());
-  ThreadPool pool(jobs);
+  const size_t num_images = images.value().size();
+  std::vector<std::optional<ImageProfile>> grid(ctx.epochs.size() * num_images);
+  ThreadPool pool(options.jobs);
   pool.ParallelFor(grid.size(), [&](size_t cell, int) {
-    uint32_t epoch = epochs[cell / images.size()];
-    const auto& image = images[cell % images.size()];
-    Result<ImageProfile> cycles = db.ReadProfile(epoch, image->name(), EventType::kCycles);
-    if (cycles.ok()) grid[cell] = std::move(cycles.value());
+    uint32_t epoch = ctx.epochs[cell / num_images];
+    const auto& image = images.value()[cell % num_images];
+    Result<ImageProfile> cycles =
+        ctx.db->ReadProfile(epoch, image->name(), EventType::kCycles);
+    if (cycles.ok()) grid[cell] = std::move(cycles).value();
   });
 
   std::vector<ProcedureSamples> sets;
   size_t profiles_read = 0;
-  for (size_t e = 0; e < epochs.size(); ++e) {
+  for (size_t e = 0; e < ctx.epochs.size(); ++e) {
     std::vector<ProfInput> inputs;
-    for (size_t i = 0; i < images.size(); ++i) {
-      std::optional<ImageProfile>& cycles = grid[e * images.size() + i];
+    for (size_t i = 0; i < num_images; ++i) {
+      std::optional<ImageProfile>& cycles = grid[e * num_images + i];
       if (!cycles.has_value()) continue;
-      inputs.push_back({images[i], &*cycles, nullptr});
+      inputs.push_back({images.value()[i], &*cycles, nullptr});
       ++profiles_read;
     }
     ProcedureSamples samples;
@@ -102,8 +111,10 @@ int main(int argc, char** argv) {
     sets.push_back(std::move(samples));
   }
   if (profiles_read == 0) {
-    std::fprintf(stderr, "no CYCLES profiles for the given images in any requested epoch of %s\n",
-                 argv[arg]);
+    std::fprintf(stderr,
+                 "no CYCLES profiles for the given images in any requested "
+                 "epoch of %s\n",
+                 db_root.c_str());
     return 1;
   }
   std::fputs(FormatStats(sets, ComputeStats(sets)).c_str(), stdout);

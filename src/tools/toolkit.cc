@@ -1,8 +1,121 @@
 #include "src/tools/toolkit.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
 #include "src/check/selfcheck.h"
+#include "src/isa/image_io.h"
+#include "src/support/thread_pool.h"
 
 namespace dcpi {
+
+namespace {
+
+// Strictly numeric parse for flag values (--epoch 2x is an error, not 2).
+bool ParseU32(const char* s, uint32_t* out) {
+  if (*s == '\0') return false;
+  uint64_t value = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    value = value * 10 + static_cast<uint64_t>(*p - '0');
+    if (value > UINT32_MAX) return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int ParseToolFlag(int argc, char** argv, int* arg, ToolOptions* options) {
+  const char* flag = argv[*arg];
+  if (std::strcmp(flag, "--all-epochs") == 0) {
+    options->all_epochs = true;
+    return 1;
+  }
+  if (std::strcmp(flag, "--no-cache") == 0) {
+    options->use_cache = false;
+    return 1;
+  }
+  if (std::strcmp(flag, "--jobs") == 0) {
+    if (*arg + 1 >= argc) return -1;
+    uint32_t jobs = 0;
+    if (!ParseU32(argv[++*arg], &jobs)) return -1;
+    options->jobs = static_cast<int>(jobs);
+    return 1;
+  }
+  if (std::strcmp(flag, "--epoch") == 0) {
+    if (*arg + 1 >= argc) return -1;
+    uint32_t epoch = 0;
+    if (!ParseU32(argv[++*arg], &epoch)) return -1;
+    options->epochs.push_back(epoch);
+    return 1;
+  }
+  return 0;
+}
+
+Result<ToolContext> OpenToolDatabase(const std::string& db_root,
+                                     const ToolOptions& options) {
+  ToolContext context;
+  context.db = std::make_unique<ProfileDatabase>(db_root, DbOpenMode::kReadOnly);
+  if (!options.epochs.empty()) {
+    context.epochs = options.epochs;
+    std::sort(context.epochs.begin(), context.epochs.end());
+    context.epochs.erase(
+        std::unique(context.epochs.begin(), context.epochs.end()),
+        context.epochs.end());
+    return context;
+  }
+  std::vector<uint32_t> pool = context.db->ListSealedEpochs();
+  if (pool.empty()) pool = context.db->ListEpochs();
+  if (pool.empty()) {
+    return NotFound("no epochs in profile database " + db_root);
+  }
+  if (options.all_epochs) {
+    context.epochs = std::move(pool);
+  } else {
+    context.epochs = {pool.back()};
+  }
+  return context;
+}
+
+Result<std::vector<std::shared_ptr<ExecutableImage>>> LoadImageSet(
+    const std::vector<std::string>& paths, int jobs) {
+  std::vector<Result<std::shared_ptr<ExecutableImage>>> loads(
+      paths.size(), Status(StatusCode::kInternal, "not loaded"));
+  ThreadPool pool(jobs);
+  pool.ParallelFor(paths.size(),
+                   [&](size_t i, int) { loads[i] = LoadImage(paths[i]); });
+  std::vector<std::shared_ptr<ExecutableImage>> images;
+  images.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!loads[i].ok()) {
+      return Status(loads[i].status().code(),
+                    "cannot load image " + paths[i] + ": " +
+                        loads[i].status().message());
+    }
+    images.push_back(loads[i].value());
+  }
+  return images;
+}
+
+Result<ImageProfile> ReadMergedProfile(const ProfileDatabase& db,
+                                       const std::vector<uint32_t>& epochs,
+                                       const std::string& image_name,
+                                       EventType event) {
+  Result<ImageProfile> merged = NotFound(
+      "no " + std::string(EventTypeName(event)) + " profile for " + image_name);
+  for (uint32_t epoch : epochs) {
+    Result<ImageProfile> profile = db.ReadProfile(epoch, image_name, event);
+    if (!profile.ok()) continue;
+    if (merged.ok()) {
+      merged.value().Merge(profile.value());
+    } else {
+      merged = std::move(profile).value();
+    }
+  }
+  return merged;
+}
 
 std::vector<ProfInput> GatherProfInputs(System& system, EventType secondary) {
   std::vector<ProfInput> inputs;

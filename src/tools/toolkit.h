@@ -1,4 +1,6 @@
 // Convenience glue used by the CLI tools, examples, and benchmarks:
+// the shared CLI scaffolding (flag parsing, read-only database opening,
+// epoch resolution, parallel image loading, cross-epoch profile merging),
 // gathering profile inputs from a live System, and running the full
 // analyzer on a procedure with whatever event profiles are available.
 
@@ -15,6 +17,58 @@
 #include "src/tools/dcpistats.h"
 
 namespace dcpi {
+
+// ---- Shared CLI scaffolding ----
+//
+// Every database-reading tool (dcpiprof, dcpicalc, dcpistats, dcpicheck)
+// accepts the same epoch-selection and execution flags:
+//   --epoch N      analyze epoch N (repeatable; replaces the old
+//                  positional-epoch argument)
+//   --all-epochs   analyze every sealed epoch (every epoch if none is
+//                  sealed yet)
+//   --jobs N       worker threads (default: hardware concurrency)
+//   --no-cache     disable the content-addressed analysis result cache
+// With no epoch flag, a tool reads the latest sealed epoch (or the latest
+// epoch of a fresh batch database). Databases are opened read-only, so a
+// tool can run concurrently against a database a daemon is still writing.
+
+struct ToolOptions {
+  int jobs = 0;
+  bool use_cache = true;
+  bool all_epochs = false;
+  std::vector<uint32_t> epochs;  // explicit --epoch values, as given
+};
+
+// Parses the shared flag at argv[*arg] into `options`, advancing *arg past
+// any consumed value. Returns 1 if the flag was consumed, 0 if it is not a
+// shared flag (the tool handles it or rejects it), -1 if it is a shared
+// flag with a missing or malformed value (print usage, exit 2).
+int ParseToolFlag(int argc, char** argv, int* arg, ToolOptions* options);
+
+struct ToolContext {
+  std::unique_ptr<ProfileDatabase> db;  // opened DbOpenMode::kReadOnly
+  std::vector<uint32_t> epochs;         // resolved, ascending, deduplicated
+};
+
+// Opens the database read-only and resolves the epoch set per the rules
+// above. Explicit --epoch values pass through even when the epoch does not
+// exist (the missing profiles surface downstream); otherwise an empty
+// database is an error.
+Result<ToolContext> OpenToolDatabase(const std::string& db_root,
+                                     const ToolOptions& options);
+
+// Loads every image file in parallel (input order preserved); the first
+// unreadable file fails the whole set.
+Result<std::vector<std::shared_ptr<ExecutableImage>>> LoadImageSet(
+    const std::vector<std::string>& paths, int jobs);
+
+// Reads and merges one (image, event) profile across `epochs` (ascending
+// merge order, so the result is deterministic). NotFound if no epoch has
+// the profile.
+Result<ImageProfile> ReadMergedProfile(const ProfileDatabase& db,
+                                       const std::vector<uint32_t>& epochs,
+                                       const std::string& image_name,
+                                       EventType event);
 
 // Builds dcpiprof inputs for every image known to the kernel (including
 // /vmunix) that has a CYCLES profile in the daemon.

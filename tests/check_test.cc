@@ -513,7 +513,7 @@ TEST(Dcpicheck, CopyWorkloadDatabaseIsViolationFree) {
 
   DcpicheckOptions options;
   options.db_root = config.db_root;
-  options.epoch = system.database()->current_epoch();
+  options.epochs = {system.database()->current_epoch()};
   options.image_files = {image_path};
   CheckReport report = RunDcpicheck(options);
   EXPECT_TRUE(report.empty()) << report.ToString();

@@ -1,6 +1,7 @@
 // Exit-code contract for the CLI tools: 0 on success, 1 on analysis or
 // database failure, 2 on usage errors. Exercised by exec'ing the real
-// binaries (DCPI_BIN_DIR is injected by CMake) against an empty database.
+// binaries (DCPI_BIN_DIR is injected by CMake) against a missing database
+// and against a multi-epoch database written by dcpi_sim --continuous.
 
 #include <gtest/gtest.h>
 
@@ -40,23 +41,31 @@ TEST_F(CliExitTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunTool("dcpicheck"), 2);
   EXPECT_EQ(RunTool("dcpi_sim"), 2);
   EXPECT_EQ(RunTool("dcpi_sim no_such_workload " + root_), 2);
-  EXPECT_EQ(RunTool("dcpicalc --bogus-flag a b c d"), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --epochs 0 copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpicalc --bogus-flag a b c"), 2);
+  // Malformed shared flags are usage errors in every reader tool.
+  EXPECT_EQ(RunTool("dcpiprof --epoch nope db img"), 2);
+  EXPECT_EQ(RunTool("dcpistats --jobs -3 db img"), 2);
 }
 
 TEST_F(CliExitTest, MissingInputsExitOne) {
-  // A nonexistent image file fails the load in every tool.
+  // A database that does not exist resolves no epochs; a nonexistent image
+  // file fails the load. Both are data failures, not usage errors.
   const std::string missing = root_ + "/missing.img";
-  EXPECT_EQ(RunTool("dcpiprof " + root_ + "/db 0 " + missing), 1);
-  EXPECT_EQ(RunTool("dcpicalc " + root_ + "/db 0 " + missing + " main"), 1);
-  EXPECT_EQ(RunTool("dcpidiff " + root_ + "/db 0 1 " + missing), 1);
-  EXPECT_EQ(RunTool("dcpistats " + root_ + "/db 0 1 -- " + missing), 1);
-  EXPECT_EQ(RunTool("dcpicheck " + root_ + "/db 0 " + missing), 1);
+  const std::string db = root_ + "/db";
+  EXPECT_EQ(RunTool("dcpiprof " + db + " " + missing), 1);
+  EXPECT_EQ(RunTool("dcpicalc " + db + " " + missing + " main"), 1);
+  EXPECT_EQ(RunTool("dcpidiff " + db + " 0 1 " + missing), 1);
+  EXPECT_EQ(RunTool("dcpistats " + db + " " + missing), 1);
+  EXPECT_EQ(RunTool("dcpicheck " + db + " " + missing), 1);
 }
 
-TEST_F(CliExitTest, EmptyDatabaseExitsOneAndFullPipelineExitsZero) {
-  // End to end: simulate the copy workload, then run every reader over the
-  // database it wrote — and over an epoch that has no profiles.
-  ASSERT_EQ(RunTool("dcpi_sim copy " + root_ + " cycles 0.25"), 0);
+TEST_F(CliExitTest, ContinuousPipelineExitsZeroAndEmptyEpochsExitOne) {
+  // End to end: a short continuous run (three sealed epochs), then every
+  // reader over the database it wrote — and over epochs with no profiles.
+  ASSERT_EQ(RunTool("dcpi_sim --continuous --epochs 3 copy " + root_ +
+                    " cycles 0.25"),
+            0);
   const std::string db = root_ + "/db";
   std::string all_images;  // every serialized image, order-independent
   std::string image;       // any one of them
@@ -67,23 +76,22 @@ TEST_F(CliExitTest, EmptyDatabaseExitsOneAndFullPipelineExitsZero) {
   }
   ASSERT_FALSE(image.empty());
 
-  // Find the epoch the run wrote (highest-numbered epoch directory).
-  int epoch = -1;
-  for (const auto& entry : std::filesystem::directory_iterator(db)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("epoch_", 0) == 0) {
-      epoch = std::max(epoch, std::atoi(name.c_str() + 6));
-    }
-  }
-  ASSERT_GE(epoch, 0);
-  const std::string e = std::to_string(epoch);
+  // Defaults (latest sealed epoch) and explicit epoch selection succeed.
+  EXPECT_EQ(RunTool("dcpiprof " + db + all_images), 0);
+  EXPECT_EQ(RunTool("dcpiprof --all-epochs " + db + all_images), 0);
+  EXPECT_EQ(RunTool("dcpiprof -i --epoch 0 --epoch 1 " + db + all_images), 0);
+  EXPECT_EQ(RunTool("dcpistats " + db + all_images), 0);
+  EXPECT_EQ(RunTool("dcpicheck --all-epochs " + db + all_images), 0);
+  EXPECT_EQ(RunTool("dcpidiff " + db + " 0 1" + all_images), 0);
 
-  EXPECT_EQ(RunTool("dcpiprof " + db + " " + e + all_images), 0);
   // An epoch with no profiles is a failure, not an empty report.
-  EXPECT_EQ(RunTool("dcpiprof " + db + " 9999 " + image), 1);
+  EXPECT_EQ(RunTool("dcpiprof --epoch 9999 " + db + " " + image), 1);
   EXPECT_EQ(RunTool("dcpidiff " + db + " 9999 9998 " + image), 1);
-  EXPECT_EQ(RunTool("dcpistats " + db + " 9999 9998 -- " + image), 1);
-  EXPECT_EQ(RunTool("dcpicalc " + db + " 9999 " + image + " no_such_proc"), 1);
+  EXPECT_EQ(RunTool("dcpicalc --epoch 9999 " + db + " " + image +
+                    " no_such_proc"),
+            1);
+  // dcpistats compares sample sets; one epoch is not enough.
+  EXPECT_EQ(RunTool("dcpistats --epoch 0 " + db + " " + image), 1);
 }
 
 }  // namespace

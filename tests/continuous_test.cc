@@ -1,0 +1,283 @@
+// Continuous-operation tests: epoch rolls driven by image-map changes,
+// sealed-epoch immutability under a concurrent reader, sample conservation
+// against segmented batch collection, timed flushes, and warm re-analysis
+// through the content-addressed result cache.
+//
+// These tests run under TSan in scripts/check.sh (the Continuous filter):
+// the concurrent-reader test opens the database read-only from a second
+// host thread while the threaded daemon is still flushing the live epoch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/engine.h"
+#include "src/profiledb/database.h"
+#include "src/sim/system.h"
+#include "src/tools/dcpiprof.h"
+#include "src/tools/toolkit.h"
+#include "src/workloads/workloads.h"
+
+namespace dcpi {
+namespace {
+
+std::string FreshRoot(const std::string& name) {
+  std::string root = "/tmp/dcpi_continuous_" + name;
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  return root;
+}
+
+SystemConfig ContinuousConfig(const std::string& db_root, uint32_t cpus = 1) {
+  SystemConfig config;
+  config.kernel.num_cpus = cpus;
+  config.mode = ProfilingMode::kCycles;
+  config.period_scale = 1.0 / 16;
+  config.free_profiling = true;
+  config.db_root = db_root;
+  config.roll_on_map_change = true;
+  config.daemon_flush_interval = config.daemon_drain_interval;
+  return config;
+}
+
+// Runs `segments` fresh instantiations of the workload to completion.
+// With roll_on_map_change set, each segment's process exits change the
+// image map and trigger a roll at the following quiesce point.
+SystemResult RunSegments(System* system, Workload* workload, int segments) {
+  SystemResult result;
+  for (int segment = 0; segment < segments; ++segment) {
+    EXPECT_TRUE(workload->Instantiate(system).ok());
+    result = system->Run();
+    EXPECT_FALSE(result.had_error);
+    if (result.had_error) break;
+  }
+  EXPECT_TRUE(system->SealCurrentEpoch().ok());
+  return result;
+}
+
+// Per-image CYCLES totals merged across the given epochs.
+std::map<std::string, uint64_t> ImageTotals(const ProfileDatabase& db,
+                                            const std::vector<uint32_t>& epochs,
+                                            const std::vector<std::string>& names) {
+  std::map<std::string, uint64_t> totals;
+  for (const std::string& name : names) {
+    Result<ImageProfile> merged =
+        ReadMergedProfile(db, epochs, name, EventType::kCycles);
+    if (merged.ok()) totals[name] = merged.value().total_samples();
+  }
+  return totals;
+}
+
+TEST(Continuous, MapChangeRollsSealEveryRetiredEpoch) {
+  const std::string root = FreshRoot("rolls");
+  WorkloadFactory factory(/*scale=*/0.25);
+  Workload workload = factory.SpecIntLike();
+  System system(ContinuousConfig(root + "/db"));
+  SystemResult result = RunSegments(&system, &workload, 3);
+
+  EXPECT_GE(result.daemon.epoch_rolls, 3u);
+  ProfileDatabase db(root + "/db", DbOpenMode::kReadOnly);
+  std::vector<uint32_t> epochs = db.ListEpochs();
+  std::vector<uint32_t> sealed = db.ListSealedEpochs();
+  ASSERT_GE(sealed.size(), 3u);
+  // Every epoch except (at most) the live one carries the seal marker, and
+  // the sealed list is a prefix of the full epoch list.
+  ASSERT_GE(epochs.size(), sealed.size());
+  EXPECT_LE(epochs.size() - sealed.size(), 1u);
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    EXPECT_EQ(sealed[i], epochs[i]);
+    EXPECT_TRUE(std::filesystem::exists(
+        root + "/db/epoch_" + std::to_string(sealed[i]) + "/.sealed"));
+    Result<std::vector<std::string>> files = db.ListProfiles(sealed[i]);
+    ASSERT_TRUE(files.ok());
+    EXPECT_FALSE(files.value().empty()) << "sealed epoch " << sealed[i]
+                                        << " is empty";
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(Continuous, SampleTotalsMatchSegmentedBatch) {
+  const std::string root = FreshRoot("conserve");
+  WorkloadFactory factory(/*scale=*/0.25);
+
+  // Continuous: three segments, epoch rolls between them.
+  Workload continuous_workload = factory.SpecIntLike();
+  System continuous(ContinuousConfig(root + "/cont"));
+  SystemResult cont_result = RunSegments(&continuous, &continuous_workload, 3);
+
+  // Batch baseline: identical segment boundaries, but rolls disabled so
+  // all samples land in one epoch. Rolls and flushes cost no simulated
+  // cycles, so the two runs execute the exact same instruction stream.
+  SystemConfig batch_config = ContinuousConfig(root + "/batch");
+  batch_config.roll_on_map_change = false;
+  batch_config.daemon_flush_interval = 0;
+  Workload batch_workload = factory.SpecIntLike();
+  System batch(batch_config);
+  SystemResult batch_result = RunSegments(&batch, &batch_workload, 3);
+  // The segmented batch run never rolled, so all of its samples ended up
+  // in one sealed epoch.
+
+  EXPECT_EQ(cont_result.elapsed_cycles, batch_result.elapsed_cycles);
+  std::vector<std::string> names;
+  for (const ImageTruth& truth : continuous.kernel().ground_truth().images()) {
+    names.push_back(truth.image->name());
+  }
+
+  ProfileDatabase cont_db(root + "/cont", DbOpenMode::kReadOnly);
+  ProfileDatabase batch_db(root + "/batch", DbOpenMode::kReadOnly);
+  std::map<std::string, uint64_t> cont_totals =
+      ImageTotals(cont_db, cont_db.ListSealedEpochs(), names);
+  std::map<std::string, uint64_t> batch_totals =
+      ImageTotals(batch_db, batch_db.ListSealedEpochs(), names);
+  ASSERT_FALSE(cont_totals.empty());
+  EXPECT_EQ(cont_totals, batch_totals);
+  EXPECT_GE(cont_db.ListSealedEpochs().size(), 3u);
+  EXPECT_EQ(batch_db.ListSealedEpochs().size(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Continuous, ConcurrentReaderMatchesPostHocListing) {
+  const std::string root = FreshRoot("reader");
+  WorkloadFactory factory(/*scale=*/0.25);
+  Workload workload = factory.SpecIntLike();
+  // Two simulated CPUs: the threaded collection path runs a concurrent
+  // daemon drain thread, so the reader below races a real writer.
+  System system(ContinuousConfig(root + "/db", 2));
+
+  // Two sealed epochs up front; the reader pins this prefix.
+  for (int segment = 0; segment < 2; ++segment) {
+    ASSERT_TRUE(workload.Instantiate(&system).ok());
+    SystemResult result = system.Run();
+    ASSERT_FALSE(result.had_error);
+  }
+  std::vector<uint32_t> sealed_prefix;
+  {
+    ProfileDatabase db(root + "/db", DbOpenMode::kReadOnly);
+    sealed_prefix = db.ListSealedEpochs();
+  }
+  ASSERT_GE(sealed_prefix.size(), 2u);
+
+  auto image = workload.processes[0].images[0];
+  auto listing = [&]() -> std::string {
+    // The same read path dcpiprof --epoch ... uses: read-only open, merge
+    // the sealed prefix, format the procedure listing.
+    ProfileDatabase db(root + "/db", DbOpenMode::kReadOnly);
+    Result<ImageProfile> cycles =
+        ReadMergedProfile(db, sealed_prefix, image->name(), EventType::kCycles);
+    if (!cycles.ok()) return "unreadable: " + cycles.status().ToString();
+    ProfInput input;
+    input.image = image;
+    input.cycles = &cycles.value();
+    return FormatProcedureListing(ListProcedures({input}), "imiss");
+  };
+
+  // Reader thread hammers the sealed prefix while the system runs two more
+  // segments (rolling, flushing, and writing the live epoch underneath it).
+  std::vector<std::string> observed;
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      observed.push_back(listing());
+    }
+  });
+  for (int segment = 0; segment < 2; ++segment) {
+    ASSERT_TRUE(workload.Instantiate(&system).ok());
+    SystemResult result = system.Run();
+    ASSERT_FALSE(result.had_error);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_TRUE(system.SealCurrentEpoch().ok());
+
+  // Sealed epochs are immutable: every concurrent read is byte-identical
+  // to the post-hoc read of the same prefix.
+  std::string post_hoc = listing();
+  ASSERT_FALSE(observed.empty());
+  for (const std::string& snapshot : observed) {
+    EXPECT_EQ(snapshot, post_hoc);
+  }
+  // The database kept growing while the reader ran.
+  ProfileDatabase db(root + "/db", DbOpenMode::kReadOnly);
+  EXPECT_GT(db.ListSealedEpochs().size(), sealed_prefix.size());
+  std::filesystem::remove_all(root);
+}
+
+TEST(Continuous, TimedFlushesPersistTheLiveEpoch) {
+  const std::string root = FreshRoot("flush");
+  WorkloadFactory factory(/*scale=*/0.25);
+  Workload workload = factory.SpecIntLike();
+  SystemConfig config = ContinuousConfig(root + "/db");
+  config.roll_on_map_change = false;
+  // Flush and drain often enough that several timed flushes land mid-run.
+  config.daemon_drain_interval = 200'000;
+  config.daemon_flush_interval = 400'000;
+  System system(config);
+  ASSERT_TRUE(workload.Instantiate(&system).ok());
+  SystemResult result = system.Run();
+  ASSERT_FALSE(result.had_error);
+  EXPECT_GE(result.daemon.timed_flushes, 2u);
+  ASSERT_TRUE(system.SealCurrentEpoch().ok());
+
+  // Periodic flushes replace rather than merge: the on-disk totals match
+  // the collected totals exactly despite the repeated mid-run writes.
+  uint64_t db_total = 0;
+  ProfileDatabase db(root + "/db", DbOpenMode::kReadOnly);
+  for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
+    Result<ImageProfile> merged = ReadMergedProfile(
+        db, db.ListSealedEpochs(), truth.image->name(), EventType::kCycles);
+    if (merged.ok()) db_total += merged.value().total_samples();
+  }
+  EXPECT_EQ(db_total,
+            result.samples[static_cast<int>(EventType::kCycles)]);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Continuous, WarmReanalysisHitsTheResultCache) {
+  const std::string root = FreshRoot("cache");
+  WorkloadFactory factory(/*scale=*/0.25);
+  Workload workload = factory.SpecIntLike();
+  System system(ContinuousConfig(root + "/db"));
+  RunSegments(&system, &workload, 3);
+
+  std::vector<std::shared_ptr<const ExecutableImage>> images;
+  for (const ImageTruth& truth : system.kernel().ground_truth().images()) {
+    images.push_back(truth.image);
+  }
+  ProfileDatabase db(root + "/db", DbOpenMode::kReadOnly);
+  AnalysisEngine engine;
+  AnalysisConfig config;
+  DatabaseAnalysis cold = engine.AnalyzeDatabase(db, images, config);
+  EXPECT_GT(cold.cache_misses, 0u);
+  ASSERT_GE(cold.per_epoch.size(), 3u);
+  for (const EpochAnalysisResult& epoch : cold.per_epoch) {
+    EXPECT_TRUE(epoch.sealed);
+    EXPECT_GT(epoch.cycles_samples, 0u);
+  }
+  EXPECT_FALSE(cold.merged.empty());
+
+  // Unchanged sealed epochs re-analyze entirely from the per-epoch caches.
+  AnalysisEngine warm_engine;
+  DatabaseAnalysis warm = warm_engine.AnalyzeDatabase(db, images, config);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(warm.per_epoch.size(), cold.per_epoch.size());
+  for (size_t e = 0; e < warm.per_epoch.size(); ++e) {
+    ASSERT_EQ(warm.per_epoch[e].analysis.procedures.size(),
+              cold.per_epoch[e].analysis.procedures.size());
+  }
+  ASSERT_EQ(warm.merged.size(), cold.merged.size());
+  for (size_t i = 0; i < warm.merged.size(); ++i) {
+    EXPECT_EQ(warm.merged[i].samples, cold.merged[i].samples);
+    EXPECT_EQ(warm.merged[i].epochs_present, cold.merged[i].epochs_present);
+  }
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace dcpi
