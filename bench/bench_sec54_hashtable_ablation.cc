@@ -10,6 +10,7 @@
 // modelled handler cost.
 
 #include "bench/bench_util.h"
+#include "src/driver/driver.h"
 #include "src/support/rng.h"
 #include "src/support/text_table.h"
 
@@ -88,57 +89,78 @@ int main() {
 
   struct Variant {
     const char* name;
-    uint32_t associativity;
-    Replacement replacement;
-    HashKind hash;
+    HashTableConfig config;
   };
-  const Variant kVariants[] = {
-      {"4-way, mod-counter (shipped)", 4, Replacement::kModCounter,
-       HashKind::kMultiplicative},
-      {"6-way, mod-counter", 6, Replacement::kModCounter, HashKind::kMultiplicative},
-      {"4-way, swap-to-front", 4, Replacement::kSwapToFront,
-       HashKind::kMultiplicative},
-      {"6-way, swap-to-front", 6, Replacement::kSwapToFront,
-       HashKind::kMultiplicative},
-      {"4-way, mod-counter, xor-fold hash", 4, Replacement::kModCounter,
-       HashKind::kXorFold},
-      {"2-way, mod-counter", 2, Replacement::kModCounter, HashKind::kMultiplicative},
-      {"8-way, swap-to-front", 8, Replacement::kSwapToFront,
-       HashKind::kMultiplicative},
-  };
-
-  // Cost model matching the driver's (hit vs miss handler cycles).
-  DriverConfig cost_model;
-  double baseline_cost = 0;
-
-  TextTable table;
-  table.SetHeader({"design", "entries", "miss rate", "evictions",
-                   "modelled cost (cy/sample)", "vs shipped"});
-  for (const Variant& variant : kVariants) {
+  auto make = [](uint32_t associativity, Replacement replacement, HashKind hash) {
     HashTableConfig config;
     // The paper's 6-way packs more entries into each per-processor cache
     // line, which "would also increase the total number of entries in the
     // hash table": bucket count stays 4096, capacity grows with ways.
-    config.buckets = 4096;
-    config.associativity = variant.associativity;
-    config.replacement = variant.replacement;
-    config.hash = variant.hash;
-    SampleHashTable sim(config);
+    config.associativity = associativity;
+    config.replacement = replacement;
+    config.hash = hash;
+    return config;
+  };
+  // The first row is the paper's measured baseline — exactly the driver's
+  // selectable legacy configuration — and the "6-way, swap-to-front" row
+  // is exactly HashTableConfig{}, the configuration the driver now ships
+  // by default. Both run through the real SampleHashTable and the driver's
+  // shared ModelledCostPerSample (no bench-local cost model), so this
+  // table measures the shipped implementations, not copies of them.
+  const Variant kVariants[] = {
+      {"4-way, mod-counter (1997 shipped)", HashTableConfig::Legacy()},
+      {"6-way, mod-counter",
+       make(6, Replacement::kModCounter, HashKind::kMultiplicative)},
+      {"4-way, swap-to-front",
+       make(4, Replacement::kSwapToFront, HashKind::kMultiplicative)},
+      {"6-way, swap-to-front (default)", HashTableConfig{}},
+      {"4-way, mod-counter, xor-fold hash",
+       make(4, Replacement::kModCounter, HashKind::kXorFold)},
+      {"2-way, mod-counter",
+       make(2, Replacement::kModCounter, HashKind::kMultiplicative)},
+      {"8-way, swap-to-front",
+       make(8, Replacement::kSwapToFront, HashKind::kMultiplicative)},
+  };
+
+  // The driver's own interrupt cost model (hit vs miss handler cycles).
+  DriverConfig cost_model;
+  double baseline_cost = 0;
+  double default_cost = 0;
+
+  TextTable table;
+  table.SetHeader({"design", "entries", "miss rate", "evictions", "probe depth",
+                   "modelled cost (cy/sample)", "vs 1997"});
+  for (const Variant& variant : kVariants) {
+    SampleHashTable sim(variant.config);
     for (const SampleKey& key : trace) sim.Record(key);
     const HashTableStats& stats = sim.stats();
-    double cost = static_cast<double>(cost_model.intr_setup_cycles) +
-                  (1.0 - stats.MissRate()) * cost_model.hit_body_cycles +
-                  stats.MissRate() * cost_model.miss_body_cycles;
+    double cost = ModelledCostPerSample(cost_model, stats);
     if (baseline_cost == 0) baseline_cost = cost;
+    if (variant.config.associativity == HashTableConfig{}.associativity &&
+        variant.config.replacement == HashTableConfig{}.replacement &&
+        variant.config.hash == HashTableConfig{}.hash) {
+      default_cost = cost;
+    }
     char delta[32];
     std::snprintf(delta, sizeof(delta), "%+.1f%%", 100.0 * (cost - baseline_cost) /
                                                        baseline_cost);
     table.AddRow({variant.name,
-                  std::to_string(config.buckets * config.associativity),
+                  std::to_string(variant.config.buckets *
+                                 variant.config.associativity),
                   TextTable::Percent(100.0 * stats.MissRate(), 1),
-                  std::to_string(stats.evictions), TextTable::Fixed(cost, 0), delta});
+                  std::to_string(stats.evictions),
+                  TextTable::Fixed(stats.AvgProbeDepth(), 2),
+                  TextTable::Fixed(cost, 0), delta});
   }
   table.Print();
   std::printf("\npaper: 6-way + swap-to-front reduce overall system cost by 10-20%%\n");
+  if (default_cost > baseline_cost) {
+    std::fprintf(stderr,
+                 "GATE FAILED: shipped default costs %.0f cy/sample vs 1997's %.0f\n",
+                 default_cost, baseline_cost);
+    return 1;
+  }
+  std::printf("gate passed: shipped default (%.0f cy/sample) <= 1997 baseline (%.0f)\n",
+              default_cost, baseline_cost);
   return 0;
 }

@@ -24,6 +24,11 @@ struct RunSpec {
   uint64_t kernel_seed = 1;
   uint32_t rng_seed = 1;
   std::string db_root;
+  // Collection-path configuration, so the before/after benches can pit the
+  // shipped Section 5.4 defaults against the 1997 baseline
+  // (HashTableConfig::Legacy() + batched_ingest = false).
+  DriverConfig driver;
+  DaemonConfig daemon;
 };
 
 struct RunOutput {
@@ -42,6 +47,8 @@ inline RunOutput RunProfiled(const Workload& workload, const RunSpec& spec) {
   config.free_profiling = spec.free_profiling;
   config.rng_seed = spec.rng_seed;
   config.db_root = spec.db_root;
+  config.driver = spec.driver;
+  config.daemon = spec.daemon;
   output.system = std::make_unique<System>(config);
   Status status = workload.Instantiate(output.system.get());
   if (!status.ok()) {

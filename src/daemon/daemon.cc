@@ -10,8 +10,11 @@ constexpr char kUnknownImage[] = "unknown";
 }  // namespace
 
 Daemon::Daemon(DcpiDriver* driver, ProfileDatabase* database,
-               std::vector<double> mean_periods)
-    : driver_(driver), database_(database), mean_periods_(std::move(mean_periods)) {
+               std::vector<double> mean_periods, DaemonConfig config)
+    : driver_(driver),
+      database_(database),
+      config_(config),
+      mean_periods_(std::move(mean_periods)) {
   mean_periods_.resize(kNumEventTypes, 0.0);
   if (driver_ != nullptr) {
     driver_->set_overflow_handler(
@@ -97,10 +100,19 @@ Daemon::ProfileSlot* Daemon::SlotFor(const std::string& image_name, EventType ev
 void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records) {
   (void)cpu_id;
   daemon_cycles_.fetch_add(config_.cycles_per_buffer_flush, std::memory_order_relaxed);
+  if (config_.batched_ingest) {
+    IngestBatched(records);
+  } else {
+    IngestPerSample(records);
+  }
+}
+
+void Daemon::IngestPerSample(const std::vector<SampleRecord>& records) {
   std::shared_lock maps_lock(maps_mu_);
   for (const SampleRecord& record : records) {
     records_processed_.fetch_add(1, std::memory_order_relaxed);
     daemon_cycles_.fetch_add(config_.cycles_per_record, std::memory_order_relaxed);
+    if (record.count == 0) continue;  // carries no samples
     samples_since_roll_.fetch_add(record.count, std::memory_order_relaxed);
     const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
     if (mapping == nullptr) {
@@ -115,6 +127,92 @@ void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& rec
     std::lock_guard lock(slot->mu);
     slot->profile.AddSamples(record.key.pc - mapping->start, record.count);
   }
+}
+
+void Daemon::IngestBatched(const std::vector<SampleRecord>& records) {
+  // Pass 1 (load-map lookups only): resolve every record to its slot and
+  // image-relative offset, grouping consecutive work per (image, event).
+  // The group list is tiny (one entry per distinct image x event in the
+  // buffer), so a linear scan beats any hash here.
+  struct Group {
+    ProfileSlot* slot;
+    const ExecutableImage* image;  // group identity; null = unknown image
+    EventType event;
+    std::vector<std::pair<uint64_t, uint64_t>> entries;  // (offset, count)
+  };
+  std::vector<Group> groups;
+  uint64_t attributed = 0;
+  uint64_t unknown = 0;
+  {
+    std::shared_lock maps_lock(maps_mu_);
+    for (const SampleRecord& record : records) {
+      if (record.count == 0) continue;  // carries no samples
+      const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
+      const ExecutableImage* image = mapping == nullptr ? nullptr : mapping->image.get();
+      uint64_t offset = mapping == nullptr ? 0 : record.key.pc - mapping->start;
+      if (mapping == nullptr) {
+        unknown += record.count;
+      } else {
+        attributed += record.count;
+      }
+      Group* group = nullptr;
+      for (Group& candidate : groups) {
+        if (candidate.image == image && candidate.event == record.key.event) {
+          group = &candidate;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back({SlotFor(image == nullptr ? kUnknownImage : image->name(),
+                                  record.key.event),
+                          image,
+                          record.key.event,
+                          {}});
+        group = &groups.back();
+      }
+      group->entries.emplace_back(offset, record.count);
+    }
+  }
+  // Pass 2: one merge-lock acquisition per group; records land in the
+  // slot's dense staging vector (offset/4-indexed, like ExtractDense's
+  // output) with a plain array add instead of a profile-map insertion.
+  for (Group& group : groups) {
+    std::lock_guard lock(group.slot->mu);
+    for (const auto& [offset, count] : group.entries) {
+      size_t index = offset / 4;
+      if (offset % 4 != 0) {
+        // Off-grid offsets cannot name an instruction slot; take the map
+        // path directly (they are as rare as bogus PCs).
+        group.slot->profile.AddSamples(offset, count);
+        continue;
+      }
+      if (index >= group.slot->staged.size()) {
+        group.slot->staged.resize(index + 1, 0);
+      }
+      group.slot->staged[index] += count;
+      group.slot->staged_samples += count;
+    }
+  }
+  records_processed_.fetch_add(records.size(), std::memory_order_relaxed);
+  daemon_cycles_.fetch_add(records.size() * config_.cycles_per_record_batched +
+                               groups.size() * config_.cycles_per_group,
+                           std::memory_order_relaxed);
+  ingest_groups_.fetch_add(groups.size(), std::memory_order_relaxed);
+  samples_attributed_.fetch_add(attributed, std::memory_order_relaxed);
+  samples_unknown_.fetch_add(unknown, std::memory_order_relaxed);
+  samples_since_roll_.fetch_add(attributed + unknown, std::memory_order_relaxed);
+}
+
+void Daemon::DrainStagingLocked(ProfileSlot* slot) const {
+  if (slot->staged_samples == 0) return;
+  for (size_t index = 0; index < slot->staged.size(); ++index) {
+    if (slot->staged[index] != 0) {
+      slot->profile.AddSamples(index * 4, slot->staged[index]);
+      slot->staged[index] = 0;
+    }
+  }
+  slot->staged_samples = 0;
+  staging_drains_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Daemon::StartDrainThread() {
@@ -164,6 +262,7 @@ Status Daemon::FlushProfilesLocked() {
     ImageProfile snapshot;
     {
       std::lock_guard lock(slot->mu);
+      DrainStagingLocked(slot);
       if (slot->profile.distinct_offsets() == 0) continue;
       snapshot = slot->profile;
     }
@@ -264,6 +363,10 @@ Status Daemon::RollEpoch(uint64_t at_cycles) {
     std::lock_guard lock(profiles_mu_);
     for (const auto& [key, slot] : profiles_) {
       std::lock_guard slot_lock(slot->mu);
+      // The flush above drained all staging; zero it again defensively so
+      // a staged sample can never survive into the next epoch.
+      std::fill(slot->staged.begin(), slot->staged.end(), 0);
+      slot->staged_samples = 0;
       slot->profile.ClearCounts();
     }
   }
@@ -301,13 +404,21 @@ const ImageProfile* Daemon::FindProfile(const std::string& image_name,
                                         EventType event) const {
   std::lock_guard lock(profiles_mu_);
   auto it = profiles_.find(std::make_pair(image_name, static_cast<int>(event)));
-  return it == profiles_.end() ? nullptr : &it->second->profile;
+  if (it == profiles_.end()) return nullptr;
+  ProfileSlot* slot = it->second.get();
+  std::lock_guard slot_lock(slot->mu);
+  DrainStagingLocked(slot);
+  return &slot->profile;
 }
 
 std::vector<const ImageProfile*> Daemon::AllProfiles() const {
   std::lock_guard lock(profiles_mu_);
   std::vector<const ImageProfile*> all;
-  for (const auto& [key, slot] : profiles_) all.push_back(&slot->profile);
+  for (const auto& [key, slot] : profiles_) {
+    std::lock_guard slot_lock(slot->mu);
+    DrainStagingLocked(slot.get());
+    all.push_back(&slot->profile);
+  }
   return all;
 }
 
@@ -318,7 +429,10 @@ uint64_t Daemon::MemoryUsageBytes() const {
     for (const auto& [pid, maps] : load_maps_) total += 64 + maps.size() * 48;
   }
   std::lock_guard lock(profiles_mu_);
-  for (const auto& [key, slot] : profiles_) total += slot->profile.memory_bytes();
+  for (const auto& [key, slot] : profiles_) {
+    std::lock_guard slot_lock(slot->mu);
+    total += slot->profile.memory_bytes() + slot->staged.capacity() * 8;
+  }
   return total;
 }
 
@@ -333,6 +447,8 @@ DaemonStats Daemon::stats() const {
   snapshot.db_write_failures = db_write_failures_.load(std::memory_order_relaxed);
   snapshot.epoch_rolls = epoch_rolls_.load(std::memory_order_relaxed);
   snapshot.timed_flushes = timed_flushes_.load(std::memory_order_relaxed);
+  snapshot.ingest_groups = ingest_groups_.load(std::memory_order_relaxed);
+  snapshot.staging_drains = staging_drains_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

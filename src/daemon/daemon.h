@@ -18,6 +18,16 @@
 // shutdown: once producers have quiesced, the drain thread performs one
 // final empty sweep and exits.
 //
+// Batched ingest (Section 5.4's "reduce per-sample daemon work", default):
+// ProcessBuffer groups a whole drained buffer by (image, event) and
+// accumulates each group into the slot's dense staging vector, paying the
+// profile-map lookup and merge-lock acquisition once per group per buffer
+// instead of once per record. Staged counts are merged into the profile
+// map at every flush and read point — in particular before any database
+// write and at every epoch-roll quiesce point — so profile output is
+// byte-identical to the legacy per-sample path and no staged sample can
+// leak across a sealed epoch boundary.
+//
 // Continuous operation (the paper's headline property): the daemon runs
 // indefinitely and the database grows as a sequence of sealed epochs. An
 // EpochPolicy arms two triggers:
@@ -58,9 +68,24 @@
 namespace dcpi {
 
 struct DaemonConfig {
-  // Cost model: cycles per overflow-buffer record processed (PID lookup,
-  // image lookup, profile hash update).
+  // Batched ingest (default): a drained overflow buffer is grouped by
+  // (image, event) and accumulated into dense per-slot staging vectors, so
+  // the profile-map lookup and the merge-lock acquisition are paid once
+  // per group per buffer instead of once per record. False selects the
+  // legacy per-sample path (one map lookup + lock round-trip per record),
+  // kept for the differential tests and the Table 4 before/after numbers.
+  bool batched_ingest = true;
+
+  // Cost model, in cycles.
+  // Legacy path, per overflow-buffer record processed: PID lookup, image
+  // lookup, profile hash update — the paper's "three hash lookups".
   uint64_t cycles_per_record = 950;
+  // Batched path, per record staged: PID + image lookup and a dense-array
+  // add; the profile hash update is amortized into the per-group cost.
+  uint64_t cycles_per_record_batched = 320;
+  // Batched path, per (image, event) group per buffer: profile-map lookup,
+  // merge-lock round trip, staging bookkeeping.
+  uint64_t cycles_per_group = 1100;
   // Extra cycles per buffer flush (syscall + copy).
   uint64_t cycles_per_buffer_flush = 6000;
 };
@@ -87,6 +112,8 @@ struct DaemonStats {
   uint64_t db_write_failures = 0;   // profiles whose retry also failed
   uint64_t epoch_rolls = 0;         // epochs sealed + advanced past
   uint64_t timed_flushes = 0;       // periodic flushes performed
+  uint64_t ingest_groups = 0;       // (image, event) groups formed (batched)
+  uint64_t staging_drains = 0;      // staging-vector merges into profiles
 };
 
 class Daemon {
@@ -94,8 +121,10 @@ class Daemon {
   // The daemon installs itself as the driver's overflow handler. `periods`
   // supplies the mean sampling period per event (for profile metadata).
   Daemon(DcpiDriver* driver, ProfileDatabase* database,
-         std::vector<double> mean_periods = {});
+         std::vector<double> mean_periods = {}, DaemonConfig config = {});
   ~Daemon();
+
+  const DaemonConfig& config() const { return config_; }
 
   // Installs the continuous-operation policy. Call before collection
   // starts (not thread-safe against a running drain thread).
@@ -189,14 +218,27 @@ class Daemon {
 
   // One (image, event) aggregation slot; `mu` serializes merges into this
   // profile so distinct profiles never contend (the per-(image,event)
-  // merge lock).
+  // merge lock). The batched ingest path accumulates a buffer's samples
+  // into `staged` — a dense vector indexed by offset/4 (instruction
+  // granularity, the inverse of ImageProfile::ExtractDense) — and the
+  // staged counts are merged into `profile` at every flush or read point,
+  // so nothing outside this class ever observes staging lag.
   struct ProfileSlot {
     std::mutex mu;
     ImageProfile profile;
+    std::vector<uint64_t> staged;  // guarded by mu; offset/4 -> samples
+    uint64_t staged_samples = 0;   // guarded by mu; total staged counts
   };
 
   const Mapping* ResolvePc(uint32_t pid, uint64_t pc) const;
   ProfileSlot* SlotFor(const std::string& image_name, EventType event);
+  // Merges `staged` into `profile` and zeroes it. Caller holds slot->mu.
+  // Const so the read accessors can drain before exposing a profile.
+  void DrainStagingLocked(ProfileSlot* slot) const;
+  // The two ingest paths (see DaemonConfig::batched_ingest). Both hold the
+  // load-map shared lock across the buffer.
+  void IngestBatched(const std::vector<SampleRecord>& records);
+  void IngestPerSample(const std::vector<SampleRecord>& records);
   // Writes every non-empty profile with ReplaceProfile (+1 retry each).
   // Caller holds flush_mu_.
   Status FlushProfilesLocked();
@@ -232,6 +274,8 @@ class Daemon {
   std::atomic<uint64_t> db_write_failures_{0};
   std::atomic<uint64_t> epoch_rolls_{0};
   std::atomic<uint64_t> timed_flushes_{0};
+  std::atomic<uint64_t> ingest_groups_{0};
+  mutable std::atomic<uint64_t> staging_drains_{0};  // bumped from read paths
 
   std::thread drain_thread_;
   std::atomic<bool> drain_stop_{false};

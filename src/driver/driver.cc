@@ -72,6 +72,7 @@ uint64_t DcpiDriver::DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
     ServiceFlush(cpu_id, &cpu);
     ++cpu.stats.flush_requests_serviced;
     cost += config_.ipi_flush_cycles;
+    cpu.stats.ipi_flush_cycles += config_.ipi_flush_cycles;
   }
   SampleKey key{pid, pc, event};
   if (config_.record_trace && cpu.trace.size() < config_.max_trace_samples) {
@@ -82,9 +83,11 @@ uint64_t DcpiDriver::DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
   if (result.hit && !result.evicted) {
     ++cpu.stats.hash_hits;
     cost += config_.hit_body_cycles;
+    cpu.stats.hit_path_cycles += config_.intr_setup_cycles + config_.hit_body_cycles;
   } else {
     ++cpu.stats.hash_misses;
     cost += config_.miss_body_cycles;
+    cpu.stats.miss_path_cycles += config_.intr_setup_cycles + config_.miss_body_cycles;
   }
   if (result.evicted) AppendOverflow(cpu_id, &cpu, result.victim);
   ++cpu.stats.interrupts;
@@ -153,10 +156,19 @@ DriverCpuStats DcpiDriver::TotalStats() const {
     total.hash_hits += cpu.stats.hash_hits;
     total.hash_misses += cpu.stats.hash_misses;
     total.handler_cycles += cpu.stats.handler_cycles;
+    total.hit_path_cycles += cpu.stats.hit_path_cycles;
+    total.miss_path_cycles += cpu.stats.miss_path_cycles;
+    total.ipi_flush_cycles += cpu.stats.ipi_flush_cycles;
     total.overflow_buffer_flushes += cpu.stats.overflow_buffer_flushes;
     total.flush_requests_serviced += cpu.stats.flush_requests_serviced;
     total.publish_waits += cpu.stats.publish_waits;
   }
+  return total;
+}
+
+HashTableStats DcpiDriver::TotalTableStats() const {
+  HashTableStats total;
+  for (const PerCpu& cpu : per_cpu_) total.Accumulate(cpu.table->stats());
   return total;
 }
 
@@ -166,10 +178,15 @@ uint64_t DcpiDriver::total_samples() const {
 }
 
 uint64_t DcpiDriver::KernelMemoryBytesPerCpu() const {
-  uint64_t table = static_cast<uint64_t>(config_.hash.buckets) *
-                   config_.hash.associativity * 16;
   uint64_t buffers = 2ull * config_.overflow_entries * 16;
-  return table + buffers;
+  return config_.hash.MemoryBytes() + buffers;
+}
+
+double ModelledCostPerSample(const DriverConfig& config, const HashTableStats& stats) {
+  double miss_rate = stats.MissRate();
+  return static_cast<double>(config.intr_setup_cycles) +
+         (1.0 - miss_rate) * static_cast<double>(config.hit_body_cycles) +
+         miss_rate * static_cast<double>(config.miss_body_cycles);
 }
 
 std::vector<SampleKey> DcpiDriver::Trace() const {

@@ -47,6 +47,8 @@
 namespace dcpi {
 
 struct DriverConfig {
+  // Defaults to the Section 5.4 winners (6-way, swap-to-front); set
+  // `hash = HashTableConfig::Legacy()` for the paper's measured baseline.
   HashTableConfig hash;
   uint32_t overflow_entries = 8192;  // per buffer (two buffers per CPU)
 
@@ -68,6 +70,12 @@ struct DriverCpuStats {
   uint64_t hash_hits = 0;
   uint64_t hash_misses = 0;
   uint64_t handler_cycles = 0;
+  // handler_cycles split by path, so Table 4 can attribute exactly where a
+  // policy change moves cycles: hit_path + miss_path + ipi_flush ==
+  // handler_cycles.
+  uint64_t hit_path_cycles = 0;   // setup + body of hit-path interrupts
+  uint64_t miss_path_cycles = 0;  // setup + body of miss-path interrupts
+  uint64_t ipi_flush_cycles = 0;  // daemon-requested flush service time
   uint64_t overflow_buffer_flushes = 0;
   uint64_t flush_requests_serviced = 0;  // IPI-modeled flushes handled
   uint64_t publish_waits = 0;            // publishes that waited on the daemon
@@ -81,6 +89,12 @@ struct DriverCpuStats {
                            : static_cast<double>(handler_cycles) / static_cast<double>(interrupts);
   }
 };
+
+// Average modelled handler cost per sample implied by a hash table's
+// hit/miss stats under this cost model. The Section 5.4 ablation bench
+// scores its design variants with exactly this function, so the bench can
+// never diverge from the shipped cost accounting.
+double ModelledCostPerSample(const DriverConfig& config, const HashTableStats& stats);
 
 // How published overflow buffers reach the overflow handler.
 enum class DrainMode {
@@ -140,6 +154,9 @@ class DcpiDriver : public SampleSink {
   // have quiesced (or from the producer thread itself).
   const DriverCpuStats& cpu_stats(uint32_t cpu_id) const { return per_cpu_[cpu_id].stats; }
   DriverCpuStats TotalStats() const;
+  // Machine-wide hash-table stats (probe depths, swap and spill counts):
+  // the per-policy accounting behind the Table 4 attribution. Quiescent-only.
+  HashTableStats TotalTableStats() const;
   uint64_t total_samples() const;
 
   // Non-pageable kernel memory, per CPU (hash table + two overflow buffers).

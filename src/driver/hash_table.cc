@@ -1,5 +1,7 @@
 #include "src/driver/hash_table.h"
 
+#include <algorithm>
+
 namespace dcpi {
 
 namespace {
@@ -14,7 +16,10 @@ uint64_t MixKey(const SampleKey& key) {
 SampleHashTable::SampleHashTable(const HashTableConfig& config)
     : config_(config),
       entries_(static_cast<size_t>(config.buckets) * config.associativity),
-      victim_counter_(config.buckets, 0) {}
+      victim_counter_(config.buckets, 0) {
+  // Counts live in 16 bits in the packed line.
+  config_.max_count = std::min(config_.max_count, 0xffffu);
+}
 
 uint64_t SampleHashTable::BucketIndex(const SampleKey& key) const {
   uint64_t mixed = MixKey(key);
@@ -30,34 +35,39 @@ uint64_t SampleHashTable::BucketIndex(const SampleKey& key) const {
 SampleHashTable::RecordResult SampleHashTable::Record(const SampleKey& key) {
   ++stats_.lookups;
   RecordResult result;
-  SampleRecord* base = &entries_[BucketIndex(key) * config_.associativity];
+  PackedEntry* base = &entries_[BucketIndex(key) * config_.associativity];
   for (uint32_t w = 0; w < config_.associativity; ++w) {
-    if (base[w].count != 0 && base[w].key == key) {
+    if (base[w].count != 0 && base[w].pc == key.pc && base[w].pid == key.pid &&
+        base[w].event == static_cast<uint8_t>(key.event)) {
       ++stats_.hits;
+      stats_.ways_probed += w + 1;
+      if (w == 0) ++stats_.front_hits;
       result.hit = true;
       if (base[w].count >= config_.max_count) {
         // Saturated 16-bit count: evict the aggregate to the overflow path.
+        ++stats_.saturation_spills;
         result.evicted = true;
-        result.victim = base[w];
-        base[w].count = 1;
-        base[w].key = key;
+        result.victim = Unpack(base[w]);
+        Pack(key, 1, &base[w]);
         return result;
       }
       ++base[w].count;
       if (config_.replacement == Replacement::kSwapToFront && w != 0) {
         std::swap(base[0], base[w]);
+        ++stats_.swaps;
       }
       return result;
     }
   }
   ++stats_.misses;
+  stats_.ways_probed += config_.associativity;
   // Miss: find an empty slot or evict.
   for (uint32_t w = 0; w < config_.associativity; ++w) {
     if (base[w].count == 0) {
-      base[w].key = key;
-      base[w].count = 1;
+      Pack(key, 1, &base[w]);
       if (config_.replacement == Replacement::kSwapToFront && w != 0) {
         std::swap(base[0], base[w]);
+        ++stats_.swaps;
       }
       return result;
     }
@@ -71,19 +81,19 @@ SampleHashTable::RecordResult SampleHashTable::Record(const SampleKey& key) {
     uint64_t bucket = BucketIndex(key);
     victim = victim_counter_[bucket]++ % config_.associativity;
   }
-  result.victim = base[victim];
-  base[victim].key = key;
-  base[victim].count = 1;
+  result.victim = Unpack(base[victim]);
+  Pack(key, 1, &base[victim]);
   if (config_.replacement == Replacement::kSwapToFront && victim != 0) {
     std::swap(base[0], base[victim]);
+    ++stats_.swaps;
   }
   return result;
 }
 
 void SampleHashTable::Flush(const std::function<void(const SampleRecord&)>& fn) {
-  for (SampleRecord& entry : entries_) {
+  for (PackedEntry& entry : entries_) {
     if (entry.count != 0) {
-      fn(entry);
+      fn(Unpack(entry));
       entry.count = 0;
     }
   }
@@ -91,7 +101,7 @@ void SampleHashTable::Flush(const std::function<void(const SampleRecord&)>& fn) 
 
 uint64_t SampleHashTable::live_entries() const {
   uint64_t live = 0;
-  for (const SampleRecord& entry : entries_) {
+  for (const PackedEntry& entry : entries_) {
     if (entry.count != 0) ++live;
   }
   return live;

@@ -1,12 +1,21 @@
-// The device driver's per-CPU sample hash table (Section 4.2.1).
+// The device driver's per-CPU sample hash table (Sections 4.2.1 and 5.4).
 //
 // Samples are aggregated by (PID, PC, EVENT): the table is an array of
-// fixed-size buckets sized to one 64-byte cache line, each holding four
-// entries (key + count). A hit increments the count; a miss evicts one
-// entry (chosen by a mod-counter, per the paper) to the overflow buffer and
-// replaces it. Associativity, replacement policy, and hash function are
-// configurable to support the Section 5.4 design-space exploration
-// (6-way packing and swap-to-front are the paper's proposed improvements).
+// fixed-size buckets, each modelled as one 64-byte non-pageable cache line
+// of packed entries (key + 16-bit count). A hit increments the count; a
+// miss evicts one entry to the overflow buffer and replaces it.
+//
+// The paper shipped 4-way lines with a mod-counter victim policy and
+// measured (Section 5.4, trace-driven) that 6-way lines with swap-to-front
+// replacement — the MRU entry kept at the head of the line, the victim
+// taken from the back — would cut collection overhead by 10-20%. This
+// implementation ships that design as the default: entries are packed to
+// 16 bytes (the 6-way line models the paper's proposed compressed ~10.6-
+// byte entries, keeping one line per bucket), swap-to-front is the default
+// replacement policy, and the shipped-1997 policy remains selectable so
+// the ablation bench and the differential tests can compare the two over
+// identical sample streams. Associativity, replacement policy, and hash
+// function are all configurable for the design-space exploration.
 
 #ifndef SRC_DRIVER_HASH_TABLE_H_
 #define SRC_DRIVER_HASH_TABLE_H_
@@ -34,7 +43,7 @@ struct SampleRecord {
 
 enum class Replacement {
   kModCounter,   // paper's shipped policy: round-robin victim, insert in place
-  kSwapToFront,  // proposed improvement: MRU at the front of the line
+  kSwapToFront,  // Section 5.4 winner (default): MRU at the front of the line
 };
 
 enum class HashKind {
@@ -43,21 +52,66 @@ enum class HashKind {
 };
 
 struct HashTableConfig {
-  uint32_t buckets = 4096;  // x4 entries = 16K samples, 256 KB (paper's size)
-  uint32_t associativity = 4;
-  Replacement replacement = Replacement::kModCounter;
+  uint32_t buckets = 4096;
+  // Section 5.4 default: 6 entries per line (the paper's compressed line
+  // keeps the bucket inside one 64-byte cache line; see BytesPerBucket).
+  uint32_t associativity = 6;
+  Replacement replacement = Replacement::kSwapToFront;
   HashKind hash = HashKind::kMultiplicative;
   uint32_t max_count = 0xffff;  // counts are 16-bit in the packed line
+
+  // The shipped-1997 configuration (Table 4's measured baseline): 4-way
+  // lines, mod-counter replacement. The differential tests and the before/
+  // after benches run both configurations over the same streams.
+  static HashTableConfig Legacy() {
+    HashTableConfig config;
+    config.associativity = 4;
+    config.replacement = Replacement::kModCounter;
+    return config;
+  }
+
+  // Modelled non-pageable kernel bytes per bucket. One 64-byte line holds
+  // four 16-byte entries; the 6-way design compresses entries (~10.6 bytes
+  // each, per the paper's proposal) so the bucket still occupies a single
+  // line; wider experimental designs span multiple lines.
+  uint64_t BytesPerBucket() const {
+    if (associativity <= 6) return 64;
+    return 64ull * ((associativity * 16 + 63) / 64);
+  }
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(buckets) * BytesPerBucket();
+  }
 };
 
 struct HashTableStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
-  uint64_t misses = 0;     // insertions of a new key
-  uint64_t evictions = 0;  // misses that displaced a live entry
+  uint64_t misses = 0;             // insertions of a new key
+  uint64_t evictions = 0;          // misses that displaced a live entry
+  uint64_t saturation_spills = 0;  // hits whose saturated aggregate spilled
+  uint64_t front_hits = 0;         // hits found at the head of the line
+  uint64_t ways_probed = 0;        // entries examined across all lookups
+  uint64_t swaps = 0;              // swap-to-front moves performed
 
   double MissRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(lookups);
+  }
+  // Mean entries examined per lookup: the line-search cost swap-to-front
+  // drives toward 1 by keeping hot entries at the front.
+  double AvgProbeDepth() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(ways_probed) / static_cast<double>(lookups);
+  }
+
+  void Accumulate(const HashTableStats& other) {
+    lookups += other.lookups;
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    saturation_spills += other.saturation_spills;
+    front_hits += other.front_hits;
+    ways_probed += other.ways_probed;
+    swaps += other.swaps;
   }
 };
 
@@ -78,17 +132,36 @@ class SampleHashTable {
   void Flush(const std::function<void(const SampleRecord&)>& fn);
 
   uint64_t live_entries() const;
-  uint64_t memory_bytes() const {
-    return static_cast<uint64_t>(config_.buckets) * config_.associativity * 16;
-  }
+  uint64_t memory_bytes() const { return config_.MemoryBytes(); }
   const HashTableStats& stats() const { return stats_; }
   const HashTableConfig& config() const { return config_; }
 
  private:
+  // Host representation of one line entry, packed for cache-line density:
+  // 16 bytes vs the 32-byte SampleRecord (count is 16-bit, as in the
+  // kernel's real line format; the constructor clamps max_count to match).
+  struct PackedEntry {
+    uint64_t pc = 0;
+    uint32_t pid = 0;
+    uint16_t count = 0;
+    uint8_t event = 0;
+    uint8_t reserved = 0;
+  };
+  static_assert(sizeof(PackedEntry) == 16, "line entries must stay packed");
+
   uint64_t BucketIndex(const SampleKey& key) const;
+  static SampleRecord Unpack(const PackedEntry& entry) {
+    return {{entry.pid, entry.pc, static_cast<EventType>(entry.event)}, entry.count};
+  }
+  static void Pack(const SampleKey& key, uint16_t count, PackedEntry* entry) {
+    entry->pc = key.pc;
+    entry->pid = key.pid;
+    entry->count = count;
+    entry->event = static_cast<uint8_t>(key.event);
+  }
 
   HashTableConfig config_;
-  std::vector<SampleRecord> entries_;  // buckets * associativity, bucket-major
+  std::vector<PackedEntry> entries_;     // buckets * associativity, bucket-major
   std::vector<uint8_t> victim_counter_;  // per-bucket mod counter
   HashTableStats stats_;
 };

@@ -1,0 +1,268 @@
+// Differential and adversarial tests for the daemon's batched ingest path
+// (Section 5.4's per-sample-work reduction): the batched staging-vector
+// path must produce byte-identical profiles to the legacy per-sample path
+// over partially-filled buffers, duplicate flushes, zero-count records,
+// off-grid PCs, and unknown samples — and staged counts must never leak
+// across a sealed epoch boundary.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/daemon/daemon.h"
+#include "src/isa/assembler.h"
+#include "src/profiledb/database.h"
+#include "src/support/rng.h"
+
+namespace dcpi {
+namespace {
+
+std::shared_ptr<ExecutableImage> TinyImage(const std::string& name, uint64_t base) {
+  auto image = Assemble(name, base, "nop\nnop\nnop\nnop\nhalt\n");
+  return image.value();
+}
+
+// Two images under pid 7, nothing under pid 9.
+void LoadStandardMaps(Daemon* daemon) {
+  std::vector<LoaderEvent> events;
+  events.push_back({LoaderEvent::Kind::kLoadImage, 7, TinyImage("libA", 0x0100'0000)});
+  events.push_back({LoaderEvent::Kind::kLoadImage, 7, TinyImage("libB", 0x0200'0000)});
+  daemon->ProcessLoaderEvents(std::move(events));
+}
+
+DaemonConfig Batched() {
+  DaemonConfig config;
+  config.batched_ingest = true;
+  return config;
+}
+
+DaemonConfig Legacy() {
+  DaemonConfig config;
+  config.batched_ingest = false;
+  return config;
+}
+
+// Serialized bytes of every in-memory profile, keyed by (image, event).
+std::map<std::pair<std::string, int>, std::vector<uint8_t>> Snapshot(
+    const Daemon& daemon) {
+  std::map<std::pair<std::string, int>, std::vector<uint8_t>> snapshot;
+  for (const ImageProfile* profile : daemon.AllProfiles()) {
+    snapshot[{profile->image_name(), static_cast<int>(profile->event())}] =
+        SerializeProfile(*profile);
+  }
+  return snapshot;
+}
+
+// An adversarial buffer mix: mapped PCs (both images), unmapped PCs, a
+// wrong PID, an off-grid PC (offset not a multiple of 4 — takes the
+// batched path's direct profile add), zero-count records, and a second
+// event type interleaved with the first.
+std::vector<SampleRecord> AdversarialRecords(SplitMix64& rng, int length) {
+  std::vector<SampleRecord> records;
+  records.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    SampleRecord record;
+    switch (rng.NextBelow(8)) {
+      case 0:  // libB
+        record.key = {7, 0x0200'0000 + rng.NextBelow(5) * 4, EventType::kCycles};
+        break;
+      case 1:  // unmapped PC
+        record.key = {7, 0x0300'0000, EventType::kCycles};
+        break;
+      case 2:  // wrong pid
+        record.key = {9, 0x0100'0004, EventType::kCycles};
+        break;
+      case 3:  // off-grid PC inside libA
+        record.key = {7, 0x0100'0002, EventType::kCycles};
+        break;
+      case 4:  // imiss samples for libA
+        record.key = {7, 0x0100'0000 + rng.NextBelow(5) * 4, EventType::kImiss};
+        break;
+      default:  // the common case: cycles in libA
+        record.key = {7, 0x0100'0000 + rng.NextBelow(5) * 4, EventType::kCycles};
+        break;
+    }
+    record.count = rng.NextBelow(5);  // 0 is legal: an empty hash line slot
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(DaemonIngest, BatchedMatchesLegacyOverAdversarialBuffers) {
+  constexpr int kTrials = 16;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SplitMix64 rng(0xBA7C'0000ull + trial);
+    Daemon batched(nullptr, nullptr, {}, Batched());
+    Daemon legacy(nullptr, nullptr, {}, Legacy());
+    LoadStandardMaps(&batched);
+    LoadStandardMaps(&legacy);
+
+    // A run is a sequence of buffers of wildly varying fill levels,
+    // including empty ones (a drained buffer can be partially filled or
+    // empty at flush time).
+    int buffers = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int b = 0; b < buffers; ++b) {
+      int length = static_cast<int>(rng.NextBelow(40));  // 0 = empty buffer
+      std::vector<SampleRecord> records = AdversarialRecords(rng, length);
+      batched.ProcessBuffer(0, records);
+      legacy.ProcessBuffer(0, records);
+    }
+
+    EXPECT_EQ(Snapshot(batched), Snapshot(legacy)) << "trial " << trial;
+    EXPECT_EQ(batched.stats().records_processed, legacy.stats().records_processed);
+    EXPECT_EQ(batched.stats().samples_attributed, legacy.stats().samples_attributed);
+    EXPECT_EQ(batched.stats().samples_unknown, legacy.stats().samples_unknown);
+  }
+}
+
+TEST(DaemonIngest, DuplicateFlushIsAdditiveInBothPaths) {
+  // The driver may legally drain the same aggregate twice (e.g. a key
+  // evicted and re-inserted); both paths must accumulate, not replace.
+  for (const DaemonConfig& config : {Batched(), Legacy()}) {
+    Daemon daemon(nullptr, nullptr, {}, config);
+    LoadStandardMaps(&daemon);
+    std::vector<SampleRecord> records;
+    records.push_back({{7, 0x0100'0004, EventType::kCycles}, 10});
+    daemon.ProcessBuffer(0, records);
+    daemon.ProcessBuffer(1, records);  // duplicate flush, different CPU
+    const ImageProfile* profile = daemon.FindProfile("libA", EventType::kCycles);
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(profile->SamplesAt(4), 20u);
+  }
+}
+
+TEST(DaemonIngest, EmptyAndZeroCountBuffersCreateNoProfiles) {
+  for (const DaemonConfig& config : {Batched(), Legacy()}) {
+    Daemon daemon(nullptr, nullptr, {}, config);
+    LoadStandardMaps(&daemon);
+    daemon.ProcessBuffer(0, {});
+    std::vector<SampleRecord> zeros(5, {{7, 0x0100'0000, EventType::kCycles}, 0});
+    daemon.ProcessBuffer(0, zeros);
+    // Zero-count records carry no samples: no profile may materialize in
+    // either path (a zero-count map entry would change the serialized
+    // bytes without changing any total).
+    EXPECT_TRUE(daemon.AllProfiles().empty());
+    EXPECT_EQ(daemon.stats().records_processed, 5u);
+    EXPECT_EQ(daemon.stats().samples_attributed, 0u);
+  }
+}
+
+TEST(DaemonIngest, BatchedAmortizesLockAcquisitions) {
+  Daemon daemon(nullptr, nullptr, {}, Batched());
+  LoadStandardMaps(&daemon);
+  // 30 records over 2 (image, event) pairs: 2 groups, not 30.
+  std::vector<SampleRecord> records;
+  for (int i = 0; i < 15; ++i) {
+    records.push_back(
+        {{7, 0x0100'0000 + static_cast<uint64_t>(i % 5) * 4, EventType::kCycles}, 1});
+    records.push_back(
+        {{7, 0x0200'0000 + static_cast<uint64_t>(i % 5) * 4, EventType::kCycles}, 1});
+  }
+  daemon.ProcessBuffer(0, records);
+  EXPECT_EQ(daemon.stats().ingest_groups, 2u);
+  EXPECT_EQ(daemon.stats().records_processed, 30u);
+  // The modelled cost charges per record + per group + per buffer.
+  const DaemonConfig& config = daemon.config();
+  EXPECT_EQ(daemon.stats().daemon_cycles,
+            30 * config.cycles_per_record_batched + 2 * config.cycles_per_group +
+                config.cycles_per_buffer_flush);
+  // Reading a profile drains its staging vector exactly once.
+  uint64_t drains_before = daemon.stats().staging_drains;
+  ASSERT_NE(daemon.FindProfile("libA", EventType::kCycles), nullptr);
+  EXPECT_EQ(daemon.stats().staging_drains, drains_before + 1);
+}
+
+class IngestDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::string("/tmp/dcpi_ingest_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(IngestDbTest, EpochRollFlushesStagingIntoSealedEpoch) {
+  // Samples staged (not yet merged) when a roll executes belong to the
+  // epoch being sealed — they must land on disk in that epoch and must
+  // not survive into the next one.
+  ProfileDatabase db(root_);
+  Daemon daemon(nullptr, &db, {}, Batched());
+  LoadStandardMaps(&daemon);
+
+  std::vector<SampleRecord> epoch0;
+  epoch0.push_back({{7, 0x0100'0000, EventType::kCycles}, 10});
+  daemon.ProcessBuffer(0, epoch0);  // staged, never explicitly flushed
+  ASSERT_TRUE(daemon.RollEpoch(100).ok());
+
+  std::vector<SampleRecord> epoch1;
+  epoch1.push_back({{7, 0x0100'0004, EventType::kCycles}, 5});
+  daemon.ProcessBuffer(0, epoch1);
+  ASSERT_TRUE(daemon.FlushToDatabase().ok());
+
+  Result<ImageProfile> sealed = db.ReadProfile(0, "libA", EventType::kCycles);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().SamplesAt(0), 10u);
+  EXPECT_EQ(sealed.value().SamplesAt(4), 0u);
+
+  Result<ImageProfile> open = db.ReadProfile(1, "libA", EventType::kCycles);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.value().SamplesAt(0), 0u);  // nothing leaked across the seal
+  EXPECT_EQ(open.value().SamplesAt(4), 5u);
+
+  // In memory, the new epoch restarted from zero too.
+  const ImageProfile* live = daemon.FindProfile("libA", EventType::kCycles);
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->SamplesAt(0), 0u);
+  EXPECT_EQ(live->total_samples(), 5u);
+}
+
+TEST_F(IngestDbTest, BatchedAndLegacyWriteIdenticalDatabases) {
+  // End-to-end on-disk equivalence: same buffers, same flush points, both
+  // paths must produce byte-identical profile files.
+  SplitMix64 rng(0xD15Cull);
+  std::vector<std::vector<SampleRecord>> buffers;
+  for (int b = 0; b < 6; ++b) {
+    buffers.push_back(AdversarialRecords(rng, 30));
+  }
+  std::map<std::string, std::vector<uint8_t>> files[2];
+  int index = 0;
+  for (const DaemonConfig& config : {Batched(), Legacy()}) {
+    std::string root = root_ + (config.batched_ingest ? "_batched" : "_legacy");
+    std::filesystem::remove_all(root);
+    {
+      ProfileDatabase db(root);
+      Daemon daemon(nullptr, &db, {}, config);
+      LoadStandardMaps(&daemon);
+      for (size_t b = 0; b < buffers.size(); ++b) {
+        daemon.ProcessBuffer(0, buffers[b]);
+        if (b == 2) {
+          ASSERT_TRUE(daemon.RollEpoch(1000).ok());
+        }
+      }
+      ASSERT_TRUE(daemon.FlushToDatabase().ok());
+      ASSERT_TRUE(daemon.SealCurrentEpoch(2000).ok());
+    }
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      std::string rel = std::filesystem::relative(entry.path(), root).string();
+      std::ifstream in(entry.path(), std::ios::binary);
+      files[index][rel] = std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                               std::istreambuf_iterator<char>());
+    }
+    std::filesystem::remove_all(root);
+    ++index;
+  }
+  EXPECT_EQ(files[0], files[1]);
+}
+
+}  // namespace
+}  // namespace dcpi

@@ -141,7 +141,9 @@ TEST(DcpiDriver, PerCpuStateIsIndependent) {
 }
 
 TEST(DcpiDriver, KernelMemoryMatchesPaper) {
-  // 4096 buckets x 4 entries x 16 B + 2 x 8192 x 16 B = 512 KB per CPU.
+  // 4096 buckets x one 64-B line (six packed 16-B entries fit because the
+  // count field narrows to 16 bits) + 2 x 8192 x 16 B overflow buffers =
+  // 512 KB per CPU — the same footprint as the paper's 4-way layout.
   DcpiDriver driver(1, DriverConfig{});
   EXPECT_EQ(driver.KernelMemoryBytesPerCpu(), 512u * 1024);
 }

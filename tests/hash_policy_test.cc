@@ -1,0 +1,233 @@
+// Differential property tests for the driver's sample hash table
+// (Section 5.4): every replacement policy x geometry is driven against a
+// std::map oracle over seeded random and adversarial colliding-PID/PC
+// streams. The load-bearing invariant is exact sample conservation — every
+// recorded sample leaves the table exactly once, either as an eviction
+// victim (the overflow path) or at the final flush — plus the counter
+// identities the Table 4 attribution depends on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/driver/hash_table.h"
+#include "src/support/rng.h"
+#include "tests/testgen.h"
+
+namespace dcpi {
+namespace {
+
+using KeyTuple = std::tuple<uint32_t, uint64_t, uint8_t>;
+using CountMap = std::map<KeyTuple, uint64_t>;
+
+KeyTuple Tup(const SampleKey& key) {
+  return {key.pid, key.pc, static_cast<uint8_t>(key.event)};
+}
+
+struct DriveResult {
+  CountMap totals;  // evicted victims + flushed entries, per key
+  CountMap oracle;  // every Record() call, per key
+  uint64_t flushed_entries = 0;
+  HashTableStats stats;
+};
+
+DriveResult Drive(const HashTableConfig& config,
+                  const std::vector<SampleKey>& stream) {
+  SampleHashTable table(config);
+  DriveResult result;
+  for (const SampleKey& key : stream) {
+    SampleHashTable::RecordResult r = table.Record(key);
+    ++result.oracle[Tup(key)];
+    if (r.evicted) {
+      EXPECT_GT(r.victim.count, 0u);
+      result.totals[Tup(r.victim.key)] += r.victim.count;
+    }
+  }
+  table.Flush([&](const SampleRecord& record) {
+    EXPECT_GT(record.count, 0u);
+    result.totals[Tup(record.key)] += record.count;
+    ++result.flushed_entries;
+  });
+  EXPECT_EQ(table.live_entries(), 0u);
+  result.stats = table.stats();
+  return result;
+}
+
+// The invariants every configuration must satisfy on every stream.
+void CheckInvariants(const HashTableConfig& config,
+                     const std::vector<SampleKey>& stream) {
+  DriveResult r = Drive(config, stream);
+  // Conservation: the table is a lossless aggregator. Per key, victims
+  // plus flush equal the oracle exactly.
+  EXPECT_EQ(r.totals, r.oracle);
+  // Counter identities.
+  EXPECT_EQ(r.stats.lookups, stream.size());
+  EXPECT_EQ(r.stats.hits + r.stats.misses, r.stats.lookups);
+  EXPECT_LE(r.stats.evictions, r.stats.misses);
+  EXPECT_LE(r.stats.front_hits, r.stats.hits);
+  EXPECT_LE(r.stats.saturation_spills, r.stats.hits);
+  // Entries enter on misses, leave via eviction or flush: what remained
+  // at flush time is insertions minus displacements.
+  EXPECT_EQ(r.flushed_entries, r.stats.misses - r.stats.evictions);
+  // Probe-depth accounting: every lookup examines at least one and at
+  // most `associativity` entries.
+  EXPECT_GE(r.stats.ways_probed, r.stats.lookups);
+  EXPECT_LE(r.stats.ways_probed, r.stats.lookups * config.associativity);
+  if (config.replacement == Replacement::kModCounter) {
+    EXPECT_EQ(r.stats.swaps, 0u);
+  }
+}
+
+std::vector<HashTableConfig> AllConfigs() {
+  std::vector<HashTableConfig> configs;
+  HashTableConfig def;  // shipped default: 6-way swap-to-front
+  configs.push_back(def);
+  configs.push_back(HashTableConfig::Legacy());  // 4-way mod-counter
+  HashTableConfig direct;                        // degenerate: direct-mapped
+  direct.associativity = 1;
+  configs.push_back(direct);
+  HashTableConfig direct_mod = direct;
+  direct_mod.replacement = Replacement::kModCounter;
+  configs.push_back(direct_mod);
+  HashTableConfig xorfold;  // ablation's alternate hash
+  xorfold.hash = HashKind::kXorFold;
+  configs.push_back(xorfold);
+  HashTableConfig wide;  // multi-line bucket (assoc > 6)
+  wide.associativity = 8;
+  configs.push_back(wide);
+  HashTableConfig saturating;  // forces 16-bit-count spills constantly
+  saturating.max_count = 3;
+  configs.push_back(saturating);
+  return configs;
+}
+
+TEST(HashPolicy, DifferentialRandomStreams) {
+  constexpr int kTrials = 24;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SplitMix64 rng(0xDC91'0000ull + trial);
+    std::vector<SampleKey> stream =
+        testgen::RandomSampleStream(rng, trial, kTrials);
+    for (HashTableConfig config : AllConfigs()) {
+      // Small tables maximize eviction traffic; 4096 is the shipped size.
+      for (uint32_t buckets : {1u, 64u, 4096u}) {
+        config.buckets = buckets;
+        SCOPED_TRACE(testing::Message()
+                     << "trial=" << trial << " buckets=" << buckets
+                     << " assoc=" << config.associativity << " policy="
+                     << (config.replacement == Replacement::kSwapToFront
+                             ? "swap"
+                             : "mod"));
+        CheckInvariants(config, stream);
+      }
+    }
+  }
+}
+
+TEST(HashPolicy, DifferentialCollidingStreams) {
+  constexpr int kTrials = 24;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SplitMix64 rng(0xC011'0000ull + trial);
+    std::vector<SampleKey> stream =
+        testgen::CollidingSampleStream(rng, trial, kTrials);
+    for (HashTableConfig config : AllConfigs()) {
+      for (uint32_t buckets : {1u, 64u}) {
+        config.buckets = buckets;
+        SCOPED_TRACE(testing::Message()
+                     << "trial=" << trial << " buckets=" << buckets
+                     << " assoc=" << config.associativity);
+        CheckInvariants(config, stream);
+      }
+    }
+  }
+}
+
+TEST(HashPolicy, SaturationSpillsAreLossless) {
+  HashTableConfig config;
+  config.max_count = 3;
+  std::vector<SampleKey> stream(100, {7, 0x4000, EventType::kCycles});
+  DriveResult r = Drive(config, stream);
+  EXPECT_EQ(r.totals, r.oracle);
+  EXPECT_GT(r.stats.saturation_spills, 0u);
+  // 1 insert + spill every 3 subsequent hits.
+  EXPECT_EQ(r.stats.saturation_spills, (100u - 1) / 3);
+}
+
+TEST(HashPolicy, MaxCountClampsToPackedWidth) {
+  // Counts are 16-bit in the packed line; an oversized max_count must not
+  // silently wrap the uint16 counter.
+  HashTableConfig config;
+  config.max_count = 1u << 20;
+  SampleHashTable table(config);
+  EXPECT_EQ(table.config().max_count, 0xffffu);
+  std::vector<SampleKey> stream(70'000, {7, 0x4000, EventType::kCycles});
+  DriveResult r = Drive(config, stream);
+  EXPECT_EQ(r.totals, r.oracle);
+  EXPECT_GT(r.stats.saturation_spills, 0u);
+}
+
+TEST(HashPolicy, SwapToFrontKeepsHotKeyAtFront) {
+  // Fill a single 4-way line with A,B,C,D, then hammer D. Swap-to-front
+  // keeps the MRU entry (D, the last insert) at the head of the line, so
+  // every hit probes one way; the mod-counter table leaves D at the back
+  // and pays the full line search on every hit.
+  for (Replacement policy : {Replacement::kSwapToFront, Replacement::kModCounter}) {
+    HashTableConfig config;
+    config.buckets = 1;
+    config.associativity = 4;
+    config.replacement = policy;
+    SampleHashTable table(config);
+    for (uint32_t pid = 1; pid <= 4; ++pid) {
+      table.Record({pid, 0x1000, EventType::kCycles});
+    }
+    HashTableStats before = table.stats();
+    constexpr uint64_t kHits = 100;
+    for (uint64_t i = 0; i < kHits; ++i) {
+      table.Record({4, 0x1000, EventType::kCycles});
+    }
+    uint64_t probes = table.stats().ways_probed - before.ways_probed;
+    uint64_t front = table.stats().front_hits - before.front_hits;
+    if (policy == Replacement::kSwapToFront) {
+      EXPECT_EQ(probes, kHits);
+      EXPECT_EQ(front, kHits);
+      EXPECT_EQ(before.swaps, 3u);  // the three non-front inserts promoted
+    } else {
+      EXPECT_EQ(probes, 4 * kHits);
+      EXPECT_EQ(front, 0u);
+      EXPECT_EQ(table.stats().swaps, 0u);
+    }
+  }
+}
+
+TEST(HashPolicy, PoliciesAgreeWithoutPressure) {
+  // When the working set fits the table, no evictions happen and every
+  // policy flushes the identical aggregate — the profile output can only
+  // diverge through overflow ordering, never through lost counts.
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SplitMix64 rng(0xF17Full + trial * 977);
+    std::vector<SampleKey> stream =
+        testgen::RandomSampleStream(rng, trial, kTrials);
+    CountMap reference;
+    bool first = true;
+    for (HashTableConfig config : AllConfigs()) {
+      if (config.max_count < 0xffffu) continue;     // spills are pressure
+      if (config.associativity < 4) continue;       // birthday collisions
+      config.buckets = 1u << 16;  // plenty of room for a <=400-key universe
+      DriveResult r = Drive(config, stream);
+      EXPECT_EQ(r.stats.evictions, 0u);
+      EXPECT_EQ(r.totals, r.oracle);
+      if (first) {
+        reference = r.totals;
+        first = false;
+      } else {
+        EXPECT_EQ(r.totals, reference);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcpi

@@ -7,11 +7,24 @@
 // timings — to be identical. A final run compares the threaded path
 // against the sequential scheduler on the same machine.
 
+// Two further equivalences ride the same harness: the daemon's batched
+// ingest path must write byte-identical profile databases to the legacy
+// per-sample path (at 1 and 4 CPUs), and the driver's shipped Section 5.4
+// hash policy must leave the profile output untouched relative to the
+// 1997 baseline (with free profiling the sample stream depends only on
+// the simulated machine, so only lost or misattributed samples could
+// diverge).
+
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/workloads/workloads.h"
 
@@ -100,6 +113,57 @@ TEST(MpDeterminism, ThreadedMatchesSequentialScheduler) {
   RunOutcome threaded = RunOnce(MpConfig(/*jitter_seed=*/3));
   RunOutcome sequential = RunOnce(MpConfig(/*jitter_seed=*/0, /*threaded=*/false));
   ExpectIdentical(threaded, sequential, "threaded vs sequential");
+}
+
+// Every regular file under `root`, as relative path -> raw bytes.
+std::map<std::string, std::vector<uint8_t>> ReadTree(const std::string& root) {
+  std::map<std::string, std::vector<uint8_t>> files;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::string rel = std::filesystem::relative(entry.path(), root).string();
+    std::ifstream in(entry.path(), std::ios::binary);
+    files[rel] = std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>());
+  }
+  return files;
+}
+
+TEST(MpDeterminism, BatchedIngestWritesByteIdenticalDatabase) {
+  // The batched staging path and the legacy per-sample path must produce
+  // byte-identical on-disk databases — same files, same bytes — at one CPU
+  // (sequential scheduler) and four (threaded collection + drain thread).
+  for (uint32_t cpus : {1u, 4u}) {
+    std::map<std::string, std::vector<uint8_t>> trees[2];
+    int index = 0;
+    for (bool batched : {true, false}) {
+      std::string root = "/tmp/dcpi_mp_ingest_db_" + std::to_string(cpus) +
+                         (batched ? "_batched" : "_legacy");
+      std::filesystem::remove_all(root);
+      SystemConfig config = MpConfig(/*jitter_seed=*/batched ? 0 : 42);
+      config.kernel.num_cpus = cpus;
+      config.daemon.batched_ingest = batched;
+      config.db_root = root;
+      RunOutcome out = RunOnce(config);
+      EXPECT_GT(out.total_samples, 0u);
+      trees[index++] = ReadTree(root);
+      std::filesystem::remove_all(root);
+    }
+    EXPECT_FALSE(trees[0].empty()) << cpus << " cpus";
+    EXPECT_EQ(trees[0], trees[1]) << cpus << " cpus";
+  }
+}
+
+TEST(MpDeterminism, ShippedHashPolicyMatchesLegacyProfiles) {
+  // With free profiling the sample stream depends only on the simulated
+  // machine, so the hash table is a pure aggregation stage: the 6-way
+  // swap-to-front default and the shipped-1997 4-way mod-counter baseline
+  // must merge to identical profiles (different eviction orders, same
+  // totals) and identical simulated timings.
+  RunOutcome shipped = RunOnce(MpConfig(/*jitter_seed=*/0));
+  SystemConfig legacy_config = MpConfig(/*jitter_seed=*/5);
+  legacy_config.driver.hash = HashTableConfig::Legacy();
+  RunOutcome legacy = RunOnce(legacy_config);
+  ExpectIdentical(shipped, legacy, "shipped vs legacy hash policy");
 }
 
 }  // namespace

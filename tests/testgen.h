@@ -10,10 +10,12 @@
 #ifndef TESTS_TESTGEN_H_
 #define TESTS_TESTGEN_H_
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/driver/hash_table.h"
 #include "src/support/rng.h"
 
 namespace dcpi {
@@ -116,6 +118,63 @@ inline std::string RandomProcedureSource(SplitMix64& rng, int num_blocks,
   }
   src += "        .endp\n";
   return src;
+}
+
+// Sample-key stream with a hot-set skew for the driver hash-table
+// differential tests: most lookups concentrate on a few keys (as in real
+// profiles, where a handful of hot PCs dominate), the rest spread over a
+// ramped universe, so swap-to-front's front-of-line fast path and cold
+// misses are both exercised.
+inline std::vector<SampleKey> RandomSampleStream(SplitMix64& rng, int trial,
+                                                 int total_trials) {
+  int universe = 1 + Ramp(trial, total_trials, 1, 400);
+  int length = Ramp(trial, total_trials, 4, 5000);
+  std::vector<SampleKey> keys;
+  keys.reserve(universe);
+  for (int i = 0; i < universe; ++i) {
+    SampleKey key;
+    key.pid = 1 + static_cast<uint32_t>(rng.NextBelow(64));
+    key.pc = rng.NextBelow(1 << 20) << 2;
+    key.event = static_cast<EventType>(rng.NextBelow(kNumEventTypes));
+    keys.push_back(key);
+  }
+  int hot = std::min<int>(universe, 8);
+  std::vector<SampleKey> stream;
+  stream.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    uint64_t index = rng.NextBelow(10) < 7
+                         ? rng.NextBelow(static_cast<uint64_t>(hot))
+                         : rng.NextBelow(static_cast<uint64_t>(universe));
+    stream.push_back(keys[index]);
+  }
+  return stream;
+}
+
+// Adversarial colliding stream: many PIDs hammering a handful of shared
+// PCs (the paper's gcc effect — a fresh PID per compilation keeps the same
+// hot PCs alive under many keys) interleaved with many PCs under one PID,
+// so lines thrash no matter how the hash spreads buckets. Combine with
+// tiny bucket counts for maximum eviction pressure.
+inline std::vector<SampleKey> CollidingSampleStream(SplitMix64& rng, int trial,
+                                                    int total_trials) {
+  int length = Ramp(trial, total_trials, 8, 6000);
+  uint32_t pids = 2 + static_cast<uint32_t>(Ramp(trial, total_trials, 2, 64));
+  static constexpr uint64_t kSharedPcs[4] = {0x1000, 0x1004, 0x1008, 0x100c};
+  std::vector<SampleKey> stream;
+  stream.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    SampleKey key;
+    if (rng.NextBelow(2) == 0) {
+      key.pid = 1 + static_cast<uint32_t>(rng.NextBelow(pids));
+      key.pc = kSharedPcs[rng.NextBelow(4)];
+    } else {
+      key.pid = 1;
+      key.pc = 0x2000 + rng.NextBelow(pids) * 4;
+    }
+    key.event = rng.NextBelow(4) == 0 ? EventType::kImiss : EventType::kCycles;
+    stream.push_back(key);
+  }
+  return stream;
 }
 
 }  // namespace testgen
