@@ -24,12 +24,14 @@
 #   compile-commands database. Skipped with a notice when clang-tidy is not
 #   installed, so the gate stays usable on minimal containers.
 #   --bench-smoke additionally runs bench_analysis_scaling --smoke,
-#   bench_continuous --smoke, and bench_table4_overhead_components --smoke
-#   in each sanitized build, so the parallel analysis engine, its result
-#   cache, the continuous epoch-roll path, and the Section 5.4 collection
-#   hot path (6-way swap-to-front table + batched daemon ingest vs the
-#   1997 baseline, with its miss-path/daemon-cost gates) are exercised
-#   end-to-end under TSan/ASan (tiny sizes).
+#   bench_continuous --smoke, bench_fleet_scaling --smoke, and
+#   bench_table4_overhead_components --smoke in each sanitized build, so
+#   the parallel analysis engine, its result cache, the continuous
+#   epoch-roll path, the fleet shard collection + merge-on-read path, and
+#   the Section 5.4 collection hot path (6-way swap-to-front table +
+#   batched daemon ingest vs the 1997 baseline, with its
+#   miss-path/daemon-cost gates) are exercised end-to-end under TSan/ASan
+#   (tiny sizes).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -96,6 +98,8 @@ run_config() {
     (cd "$dir" && ./bench/bench_analysis_scaling --smoke)
     echo "=== bench smoke ($dir): continuous collection under sanitizers ==="
     (cd "$dir" && ./bench/bench_continuous --smoke)
+    echo "=== bench smoke ($dir): fleet shards + merge-on-read under sanitizers ==="
+    (cd "$dir" && ./bench/bench_fleet_scaling --smoke)
     echo "=== bench smoke ($dir): Section 5.4 before/after gates under sanitizers ==="
     (cd "$dir" && ./bench/bench_table4_overhead_components --smoke)
     echo "=== bench smoke ($dir): collection micro head-to-heads under sanitizers ==="
@@ -108,7 +112,7 @@ run_config() {
 if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb"
+    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet"
   fi
   run_config build-tsan "-fsanitize=thread -O1 -g -fno-omit-frame-pointer" "$TSAN_FILTER"
 fi
@@ -116,7 +120,7 @@ fi
 if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb"
+    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet"
   fi
   run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" "$ASAN_FILTER"
 fi

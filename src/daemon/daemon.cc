@@ -449,6 +449,9 @@ DaemonStats Daemon::stats() const {
   snapshot.timed_flushes = timed_flushes_.load(std::memory_order_relaxed);
   snapshot.ingest_groups = ingest_groups_.load(std::memory_order_relaxed);
   snapshot.staging_drains = staging_drains_.load(std::memory_order_relaxed);
+  if (database_ != nullptr) {
+    snapshot.db_bytes_written = database_->bytes_written();
+  }
   return snapshot;
 }
 

@@ -114,6 +114,7 @@ struct DaemonStats {
   uint64_t timed_flushes = 0;       // periodic flushes performed
   uint64_t ingest_groups = 0;       // (image, event) groups formed (batched)
   uint64_t staging_drains = 0;      // staging-vector merges into profiles
+  uint64_t db_bytes_written = 0;    // serialized bytes flushed to the db
 };
 
 class Daemon {

@@ -67,11 +67,18 @@ void ImageProfile::Merge(const ImageProfile& other) {
   } else if (other.mean_period_ != 0 && other.mean_period_ != mean_period_) {
     // Sample-weighted mean of the two periods, so samples-to-cycles scaling
     // stays correct when mux-mode runs with different periods merge.
+    //
+    // Zero-total guard: merging two empty profiles (0 samples each — legal
+    // for a sealed-but-idle epoch, and routine for fleet merge-on-read
+    // across idle shards) must not divide by zero; a NaN period would
+    // serialize and poison every downstream cycles estimate. Keep this
+    // profile's period — merge order is canonicalized by the callers.
     double self_weight = static_cast<double>(total_samples());
     double other_weight = static_cast<double>(other.total_samples());
-    if (self_weight + other_weight > 0) {
+    double total_weight = self_weight + other_weight;
+    if (total_weight > 0) {
       mean_period_ = (mean_period_ * self_weight + other.mean_period_ * other_weight) /
-                     (self_weight + other_weight);
+                     total_weight;
     }
   }
   for (const auto& [offset, count] : other.counts_) counts_[offset] += count;
@@ -238,58 +245,84 @@ ScanReport ProfileDatabase::ScanAndRecover() const {
     any_epoch = true;
     max_epoch = std::max(max_epoch, epoch);
     ++report.epochs_found;
-    EpochScanInfo info;
-    info.epoch = epoch;
-    {
-      std::error_code seal_ec;
-      info.sealed = std::filesystem::exists(epoch_path / kSealMarker, seal_ec);
-    }
 
-    std::error_code dir_ec;
-    std::filesystem::directory_iterator files(epoch_path, dir_ec);
-    if (dir_ec) {
-      report.epochs.push_back(info);
-      continue;
-    }
-    std::vector<std::filesystem::path> file_paths;
-    for (const auto& file : files) {
-      if (!file.is_regular_file()) continue;
-      file_paths.push_back(file.path());
-    }
-    std::sort(file_paths.begin(), file_paths.end());
-    for (const auto& file_path : file_paths) {
-      std::string file_name = file_path.filename().string();
-      auto quarantine = [&] {
-        std::error_code q_ec;
-        std::filesystem::path q_dir = epoch_path / ".quarantine";
-        std::filesystem::create_directories(q_dir, q_ec);
-        std::filesystem::rename(file_path, q_dir / file_name, q_ec);
-        if (q_ec) std::filesystem::remove(file_path, q_ec);
-        ++report.files_quarantined;
-      };
-      if (EndsWith(file_name, ".tmp")) {
-        // In-flight write from an interrupted flush: even if complete, the
-        // rename never committed it, so it cannot be trusted. A read-only
-        // open may be racing a live writer whose .tmp is about to commit —
-        // leave it alone and report nothing.
-        if (!read_only) quarantine();
-        continue;
+    // A read-only open can race the writing daemon sealing this epoch: the
+    // writer's final flush and its .sealed marker may land between our
+    // directory listing and the per-file reads, so a single pass could
+    // report the epoch unsealed yet miss files the seal guarantees are
+    // final. The marker is therefore re-checked after the reads; if it
+    // appeared mid-scan the epoch is rescanned once — it is immutable by
+    // then, so the second pass is a consistent snapshot. Read-write opens
+    // are the (single) writer itself and scan once; per-attempt counters
+    // stay local so only the surviving pass lands in the report.
+    EpochScanInfo info;
+    uint64_t files_checked = 0;
+    uint64_t files_recovered = 0;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      info = EpochScanInfo{};
+      info.epoch = epoch;
+      files_checked = 0;
+      files_recovered = 0;
+      {
+        std::error_code seal_ec;
+        info.sealed = std::filesystem::exists(epoch_path / kSealMarker, seal_ec);
       }
-      if (!EndsWith(file_name, ".prof")) continue;
-      ++report.files_checked;
-      std::vector<uint8_t> bytes;
-      Result<ImageProfile> profile = IoError("unread");
-      if (ReadFile(file_path.string(), &bytes).ok()) {
-        profile = DeserializeProfile(bytes);
+
+      std::error_code dir_ec;
+      std::filesystem::directory_iterator files(epoch_path, dir_ec);
+      if (dir_ec) break;
+      std::vector<std::filesystem::path> file_paths;
+      for (const auto& file : files) {
+        if (!file.is_regular_file()) continue;
+        file_paths.push_back(file.path());
       }
-      if (profile.ok()) {
-        ++report.files_recovered;
-        ++info.files;
-        info.samples += profile.value().total_samples();
-      } else if (!read_only) {
-        quarantine();
+      std::sort(file_paths.begin(), file_paths.end());
+      // Test hook: the race regression tests mutate the epoch here, in the
+      // listing-to-reads window.
+      if (FaultInjectingEnv* env = GetFaultInjectingEnv()) {
+        env->OnEpochScan(epoch);
       }
+      for (const auto& file_path : file_paths) {
+        std::string file_name = file_path.filename().string();
+        auto quarantine = [&] {
+          std::error_code q_ec;
+          std::filesystem::path q_dir = epoch_path / ".quarantine";
+          std::filesystem::create_directories(q_dir, q_ec);
+          std::filesystem::rename(file_path, q_dir / file_name, q_ec);
+          if (q_ec) std::filesystem::remove(file_path, q_ec);
+          ++report.files_quarantined;
+        };
+        if (EndsWith(file_name, ".tmp")) {
+          // In-flight write from an interrupted flush: even if complete, the
+          // rename never committed it, so it cannot be trusted. A read-only
+          // open may be racing a live writer whose .tmp is about to commit —
+          // leave it alone and report nothing.
+          if (!read_only) quarantine();
+          continue;
+        }
+        if (!EndsWith(file_name, ".prof")) continue;
+        ++files_checked;
+        std::vector<uint8_t> bytes;
+        Result<ImageProfile> profile = IoError("unread");
+        if (ReadFile(file_path.string(), &bytes).ok()) {
+          profile = DeserializeProfile(bytes);
+        }
+        if (profile.ok()) {
+          ++files_recovered;
+          ++info.files;
+          info.samples += profile.value().total_samples();
+        } else if (!read_only) {
+          quarantine();
+        }
+      }
+      if (!read_only) break;
+      std::error_code seal_ec;
+      bool sealed_now =
+          std::filesystem::exists(epoch_path / kSealMarker, seal_ec);
+      if (sealed_now == info.sealed) break;  // consistent snapshot
     }
+    report.files_checked += files_checked;
+    report.files_recovered += files_recovered;
     report.epochs.push_back(info);
   }
   report.next_epoch = any_epoch ? max_epoch + 1 : 0;
@@ -354,6 +387,23 @@ Result<uint32_t> ProfileDatabase::NewEpoch() {
   return epoch;
 }
 
+Result<uint32_t> ProfileDatabase::OpenEpoch(uint32_t epoch) {
+  if (mode_ == DbOpenMode::kReadOnly) {
+    return FailedPrecondition("database opened read-only");
+  }
+  if (IsSealed(epoch)) {
+    return FailedPrecondition("epoch " + std::to_string(epoch) +
+                              " is sealed and immutable");
+  }
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(EpochDir(epoch), ec);
+  if (ec) return IoError("cannot create epoch dir: " + ec.message());
+  current_epoch_ = epoch;
+  have_epoch_ = true;
+  return epoch;
+}
+
 Status ProfileDatabase::WriteProfile(const ImageProfile& profile) {
   if (mode_ == DbOpenMode::kReadOnly) {
     return FailedPrecondition("database opened read-only");
@@ -396,7 +446,10 @@ Status ProfileDatabase::WriteLocked(const ImageProfile& profile, bool merge) {
       if (prior.ok()) merged.Merge(prior.value());
     }
   }
-  DCPI_RETURN_IF_ERROR(WriteFileAtomic(path, SerializeProfile(merged)));
+  std::vector<uint8_t> serialized = SerializeProfile(merged);
+  size_t serialized_size = serialized.size();
+  DCPI_RETURN_IF_ERROR(WriteFileAtomic(path, std::move(serialized)));
+  bytes_written_.fetch_add(serialized_size, std::memory_order_relaxed);
   // Any legacy-named file is superseded (folded in when merging, replaced
   // otherwise); drop it so the image's samples live in exactly one file.
   if (!legacy.empty()) {

@@ -25,6 +25,7 @@
 #ifndef SRC_PROFILEDB_DATABASE_H_
 #define SRC_PROFILEDB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -101,6 +102,12 @@ class ProfileDatabase {
   // True once an epoch has been opened (by NewEpoch or a first write).
   bool has_open_epoch() const;
 
+  // Points the write cursor at a specific epoch (creating its directory if
+  // needed), for writers that mirror an external epoch numbering — the
+  // fleet compactor materializes host epoch K of every shard as epoch K of
+  // the merged database. Refuses sealed epochs (they are immutable).
+  Result<uint32_t> OpenEpoch(uint32_t epoch);
+
   // Merges `profile` into the on-disk file for the current epoch. The write
   // is atomic: on any failure the previous file contents remain intact.
   Status WriteProfile(const ImageProfile& profile);
@@ -136,6 +143,14 @@ class ProfileDatabase {
 
   uint64_t DiskUsageBytes() const;
 
+  // Profile bytes this handle has written (serialized sizes, including
+  // re-flushes that overwrite a file). The ingest benchmarks read this for
+  // MB/s accounting; unlike DiskUsageBytes it counts every write, not just
+  // the surviving files.
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
   const std::string& root() const { return root_; }
   DbOpenMode mode() const { return mode_; }
   const ScanReport& scan_report() const { return scan_report_; }
@@ -167,6 +182,7 @@ class ProfileDatabase {
   uint32_t current_epoch_ = 0;
   uint32_t next_epoch_ = 0;  // first epoch a fresh write lands in
   bool have_epoch_ = false;
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 }  // namespace dcpi

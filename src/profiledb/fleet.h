@@ -1,0 +1,114 @@
+// Fleet view over sharded profile databases ("many hosts, one database").
+//
+// A fleet root holds one profile database per host:
+//   <fleet_root>/host_<id>/epoch_<k>/<image>__<event>.prof
+// Each shard is an ordinary ProfileDatabase written by that host's daemon
+// (dcpi_sim --fleet runs N such instances); a FleetView opens every shard
+// read-only and serves fleet-wide reads by merge-on-read: per-host profiles
+// are folded across epochs (ascending, the single-database rule), then
+// across hosts into one fleet profile with a sample-weighted mean period
+// and per-host provenance counts.
+//
+// Determinism: hosts are always iterated in ascending numeric id order, and
+// the cross-host period fold sorts its (period, weight) contributions by
+// value before accumulating — so the merged profile is byte-identical no
+// matter which host held which shard, how directories enumerate, or how
+// many worker threads fan the reads out. Sample counts are integer adds and
+// commute exactly.
+//
+// Compaction: CompactFleet materializes the merge-on-read result as a
+// regular ProfileDatabase (same epoch numbering, one merged file per
+// (image, event) pair, sealed epochs, per-epoch .provenance sidecar) using
+// the existing atomic-write + CRC path — so the plain single-database tools
+// can read a fleet that was compacted once, byte-for-byte equal to what
+// --fleet merge-on-read would have shown them.
+
+#ifndef SRC_PROFILEDB_FLEET_H_
+#define SRC_PROFILEDB_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/profiledb/database.h"
+
+namespace dcpi {
+
+// One host's contribution to a fleet-merged profile (provenance).
+struct HostContribution {
+  std::string host;      // shard directory name, e.g. "host_3"
+  uint64_t samples = 0;  // samples this host contributed to the merge
+};
+
+struct FleetProfile {
+  ImageProfile merged;
+  // Contributing hosts only, ascending host order.
+  std::vector<HostContribution> hosts;
+};
+
+class FleetView {
+ public:
+  // True when `root` contains at least one host_<id> subdirectory.
+  static bool IsFleetRoot(const std::string& root);
+
+  // Opens every host_<id> shard under `fleet_root` read-only, in ascending
+  // numeric id order. A fleet with zero shards is reported via num_hosts()
+  // == 0, not an exception, so tools can print a usage-grade error.
+  explicit FleetView(std::string fleet_root);
+
+  const std::string& root() const { return root_; }
+  size_t num_hosts() const { return hosts_.size(); }
+  const std::vector<std::string>& host_names() const { return host_names_; }
+  const ProfileDatabase& host(size_t i) const { return *hosts_[i]; }
+
+  // Union of epochs across shards, ascending.
+  std::vector<uint32_t> ListEpochs() const;
+  // Epochs that are sealed on *every* shard that has them: a shard still
+  // writing epoch K makes the fleet-wide merge of K unstable, so it is not
+  // offered as a default merge unit.
+  std::vector<uint32_t> ListSealedEpochs() const;
+
+  // Merge-on-read: folds the (image, event) profile across `epochs` per
+  // host (ascending epoch order), then across hosts. NotFound if no shard
+  // has the profile in any requested epoch.
+  Result<ImageProfile> ReadProfile(const std::vector<uint32_t>& epochs,
+                                   const std::string& image_name,
+                                   EventType event) const;
+  // Same, with per-host provenance counts.
+  Result<FleetProfile> ReadProfileWithProvenance(
+      const std::vector<uint32_t>& epochs, const std::string& image_name,
+      EventType event) const;
+
+  // Union of profile file names across shards for one epoch, sorted.
+  Result<std::vector<std::string>> ListProfiles(uint32_t epoch) const;
+
+  uint64_t DiskUsageBytes() const;
+
+ private:
+  std::string root_;
+  std::vector<std::string> host_names_;           // ascending numeric id
+  std::vector<std::unique_ptr<ProfileDatabase>> hosts_;  // same order
+};
+
+// Folds per-host profiles for one (image, event) pair into a fleet profile.
+// `parts` must be in ascending host order and non-empty; a single part is
+// returned unchanged (bit-exact), so a 1-host fleet reads identically to
+// its shard. Exposed for the compactor and the determinism tests.
+FleetProfile MergeHostProfiles(
+    const std::vector<std::pair<std::string, const ImageProfile*>>& parts);
+
+// Materializes fleet merge-on-read into a regular ProfileDatabase at
+// `out_root`: for each requested epoch, every shard's profiles are read,
+// grouped by (image, event), merged with MergeHostProfiles, written through
+// the atomic-write/CRC path under the same epoch number, recorded in an
+// epoch_<k>/.provenance sidecar (one "host_<id> <samples>" line per host),
+// and sealed. Reads fan out over `jobs` worker threads; output bytes are
+// identical for any jobs count. Epochs already sealed in the output
+// database are skipped, so the pass is incremental and restartable.
+Status CompactFleet(const FleetView& fleet, const std::string& out_root,
+                    const std::vector<uint32_t>& epochs, int jobs = 0);
+
+}  // namespace dcpi
+
+#endif  // SRC_PROFILEDB_FLEET_H_

@@ -1,8 +1,12 @@
 // dcpicalc CLI: instruction-level analysis of one procedure.
 //
 // Usage:
-//   dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache]
+//   dcpicalc [-s] [--selfcheck] [--fleet] [--jobs N] [--no-cache]
 //            [--epoch N]... [--all-epochs] <db_root> <image_file> <procedure>
+//
+// With --fleet, <db_root> is a fleet root of host_<id> shards and the
+// analyzed profile is the fleet-wide merge-on-read aggregate (cached under
+// <fleet_root>/.cache).
 //
 // Prints the Figure 2 style annotated listing; -s prints the Figure 4
 // style stall summary instead. --selfcheck additionally runs the src/check
@@ -28,9 +32,9 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcpicalc [-s] [--selfcheck] [--jobs N] [--no-cache] "
-               "[--epoch N]... [--all-epochs] <db_root> <image_file> "
-               "<procedure>\n");
+               "usage: dcpicalc [-s] [--selfcheck] [--fleet] [--jobs N] "
+               "[--no-cache] [--epoch N]... [--all-epochs] <db_root> "
+               "<image_file> <procedure>\n");
   return 2;
 }
 
@@ -80,14 +84,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   Result<ImageProfile> cycles =
-      ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kCycles);
+      ReadMergedProfile(ctx, image->name(), EventType::kCycles);
   if (!cycles.ok()) {
     std::fprintf(stderr, "no cycles profile: %s\n", cycles.status().ToString().c_str());
     return 1;
   }
   std::optional<ImageProfile> imiss;
   Result<ImageProfile> imiss_result =
-      ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kImiss);
+      ReadMergedProfile(ctx, image->name(), EventType::kImiss);
   if (imiss_result.ok()) imiss = std::move(imiss_result).value();
 
   AnalysisConfig config;
@@ -97,8 +101,9 @@ int main(int argc, char** argv) {
   engine_options.jobs = options.jobs;
   if (options.use_cache) {
     // A merged profile set gets its own cache namespace at the database
-    // root; the content-addressed keys keep it disjoint per epoch set.
-    engine_options.cache_dir = ctx.epochs.size() == 1
+    // root (fleet merges always do — their profiles span hosts); the
+    // content-addressed keys keep it disjoint per epoch set.
+    engine_options.cache_dir = ctx.db != nullptr && ctx.epochs.size() == 1
                                    ? ctx.db->EpochCacheDir(ctx.epochs[0])
                                    : db_root + "/.cache";
   }

@@ -1,8 +1,13 @@
 // dcpicheck CLI: static verification of a profile database + image set.
 //
 // Usage:
-//   dcpicheck [--jobs N] [--no-cache] [--epoch N]... [--all-epochs]
-//             <db_root> <image_file>...
+//   dcpicheck [--fleet] [--jobs N] [--no-cache] [--epoch N]...
+//             [--all-epochs] <db_root> <image_file>...
+//
+// With --fleet, <db_root> is a fleet root of host_<id> shards; every shard
+// is checked independently (each under a "=== host_<id> ===" header, each
+// with its own result cache) and the exit code reflects the worst shard —
+// one corrupt host fails the fleet check.
 //
 // Runs all five verification passes (image lint, CFG structure,
 // differential cycle equivalence, flow conservation, schedule invariants)
@@ -15,6 +20,7 @@
 // no errors were found, 1 on violations or unreadable inputs, 2 on usage
 // errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,8 +33,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcpicheck [--jobs N] [--no-cache] [--epoch N]... "
-               "[--all-epochs] <db_root> <image_file>...\n");
+               "usage: dcpicheck [--fleet] [--jobs N] [--no-cache] "
+               "[--epoch N]... [--all-epochs] <db_root> <image_file>...\n");
   return 2;
 }
 
@@ -57,12 +63,37 @@ int main(int argc, char** argv) {
   }
 
   DcpicheckOptions options;
-  options.db_root = db_root;
-  options.epochs = context.value().epochs;
   options.jobs = tool_options.jobs;
   options.use_cache = tool_options.use_cache;
   for (int i = arg + 1; i < argc; ++i) options.image_files.push_back(argv[i]);
 
+  const ToolContext& ctx = context.value();
+  if (ctx.fleet != nullptr) {
+    // Check every shard independently: a fleet is healthy only when each
+    // host's database passes on its own.
+    bool all_ok = true;
+    for (size_t h = 0; h < ctx.fleet->num_hosts(); ++h) {
+      const ProfileDatabase& host = ctx.fleet->host(h);
+      DcpicheckOptions host_options = options;
+      host_options.db_root = host.root();
+      // Only the epochs this shard actually has: the fleet-wide epoch
+      // union may be sparse per host.
+      std::vector<uint32_t> have = host.ListEpochs();
+      for (uint32_t epoch : ctx.epochs) {
+        if (std::find(have.begin(), have.end(), epoch) != have.end()) {
+          host_options.epochs.push_back(epoch);
+        }
+      }
+      std::fprintf(stdout, "=== %s ===\n", ctx.fleet->host_names()[h].c_str());
+      CheckReport report = RunDcpicheck(host_options);
+      std::fputs(report.ToString().c_str(), stdout);
+      all_ok = all_ok && report.ok();
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  options.db_root = db_root;
+  options.epochs = ctx.epochs;
   CheckReport report = RunDcpicheck(options);
   std::fputs(report.ToString().c_str(), stdout);
   return report.ok() ? 0 : 1;

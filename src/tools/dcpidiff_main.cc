@@ -11,19 +11,30 @@
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
 #include "src/tools/dcpidiff.h"
+#include "src/tools/toolkit.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcpi;
-  if (argc < 5) {
-    std::fprintf(stderr,
-                 "usage: dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...\n");
-    return 2;
+  if (argc < 5) return Usage();
+  uint32_t epoch_before = 0;
+  uint32_t epoch_after = 0;
+  if (!ParseUint32(argv[2], &epoch_before) || !ParseUint32(argv[3], &epoch_after)) {
+    std::fprintf(stderr, "malformed epoch '%s' / '%s'\n", argv[2], argv[3]);
+    return Usage();
   }
   // Read-only, like every other reader tool: dcpidiff may run against a
   // database a daemon is still writing.
   ProfileDatabase db(argv[1], DbOpenMode::kReadOnly);
-  uint32_t epoch_before = static_cast<uint32_t>(std::atoi(argv[2]));
-  uint32_t epoch_after = static_cast<uint32_t>(std::atoi(argv[3]));
 
   std::deque<ImageProfile> storage;
   std::vector<ProfInput> before_inputs, after_inputs;

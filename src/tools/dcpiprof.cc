@@ -126,6 +126,86 @@ std::string FormatProcedureListing(const std::vector<ProcedureRow>& rows,
   return out + table.ToString();
 }
 
+std::vector<FleetProcedureRow> ListFleetProcedures(
+    const std::vector<std::vector<ProfInput>>& per_host) {
+  // Fleet-wide aggregates come from the concatenation of every host's
+  // inputs — ListProcedures already sums duplicate (procedure, image) keys,
+  // so percentages and ordering are exactly the single-database listing
+  // over the union of samples.
+  std::vector<ProfInput> all;
+  for (const std::vector<ProfInput>& host : per_host) {
+    all.insert(all.end(), host.begin(), host.end());
+  }
+  std::vector<FleetProcedureRow> rows;
+  for (ProcedureRow& fleet_row : ListProcedures(all)) {
+    FleetProcedureRow row;
+    row.fleet = std::move(fleet_row);
+    row.host_samples.assign(per_host.size(), 0);
+    rows.push_back(std::move(row));
+  }
+  // Per-host breakdown: each host's own listing, folded into the columns.
+  for (size_t h = 0; h < per_host.size(); ++h) {
+    std::map<ProcKey, uint64_t> host_counts;
+    for (const ProcedureRow& r : ListProcedures(per_host[h])) {
+      host_counts[ProcKey{r.procedure, r.image}] = r.cycles_samples;
+    }
+    for (FleetProcedureRow& row : rows) {
+      auto it = host_counts.find(ProcKey{row.fleet.procedure, row.fleet.image});
+      if (it != host_counts.end()) row.host_samples[h] = it->second;
+    }
+  }
+  return rows;
+}
+
+std::string FormatFleetProcedureListing(const std::vector<FleetProcedureRow>& rows,
+                                        const std::vector<std::string>& host_names,
+                                        const std::string& secondary_name,
+                                        size_t max_rows) {
+  uint64_t total_cycles = 0, total_secondary = 0;
+  for (const FleetProcedureRow& row : rows) {
+    total_cycles += row.fleet.cycles_samples;
+    total_secondary += row.fleet.secondary_samples;
+  }
+  std::string out = "Fleet of " + std::to_string(host_names.size()) +
+                    " host(s); total samples for event type cycles = " +
+                    std::to_string(total_cycles);
+  if (total_secondary > 0) {
+    out += ", " + secondary_name + " = " + std::to_string(total_secondary);
+  }
+  out += "\nhosts:";
+  for (const std::string& name : host_names) out += " " + name;
+  out += "\n\n";
+
+  TextTable table;
+  if (total_secondary > 0) {
+    table.SetHeader({"cycles", "%", "cum%", secondary_name, "%", "by-host",
+                     "procedure", "image"});
+  } else {
+    table.SetHeader({"cycles", "%", "cum%", "by-host", "procedure", "image"});
+  }
+  size_t limit = max_rows == 0 ? rows.size() : std::min(max_rows, rows.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const FleetProcedureRow& row = rows[i];
+    std::vector<std::string> cells = {std::to_string(row.fleet.cycles_samples),
+                                      TextTable::Percent(row.fleet.cycles_pct, 2),
+                                      TextTable::Percent(row.fleet.cumulative_pct, 2)};
+    if (total_secondary > 0) {
+      cells.push_back(std::to_string(row.fleet.secondary_samples));
+      cells.push_back(TextTable::Percent(row.fleet.secondary_pct, 2));
+    }
+    std::string by_host;
+    for (size_t h = 0; h < row.host_samples.size(); ++h) {
+      if (h > 0) by_host += "/";
+      by_host += std::to_string(row.host_samples[h]);
+    }
+    cells.push_back(std::move(by_host));
+    cells.push_back(row.fleet.procedure);
+    cells.push_back(row.fleet.image);
+    table.AddRow(std::move(cells));
+  }
+  return out + table.ToString();
+}
+
 std::string FormatImageListing(const std::vector<ImageRow>& rows, size_t max_rows) {
   TextTable table;
   table.SetHeader({"cycles", "%", "cum%", "image"});

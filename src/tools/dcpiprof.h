@@ -53,6 +53,30 @@ std::string FormatProcedureListing(const std::vector<ProcedureRow>& rows,
 
 std::string FormatImageListing(const std::vector<ImageRow>& rows, size_t max_rows = 0);
 
+// ---- Fleet-wide listings (dcpiprof --fleet) ----
+
+// A fleet-wide procedure row: the usual aggregates over every host's
+// samples, plus each host's own cycles contribution for the per-host
+// breakdown column.
+struct FleetProcedureRow {
+  ProcedureRow fleet;
+  std::vector<uint64_t> host_samples;  // cycles samples, fleet host order
+};
+
+// Aggregates procedures over `per_host` (one ProfInput set per host, in
+// ascending fleet host order). Row ordering matches ListProcedures run on
+// the concatenation of all hosts' inputs, so a 1-host fleet lists exactly
+// what the plain listing would.
+std::vector<FleetProcedureRow> ListFleetProcedures(
+    const std::vector<std::vector<ProfInput>>& per_host);
+
+// Procedure listing with a trailing by-host column ("12/0/7/3" = samples
+// on host_0..host_3) and a legend line naming the hosts in column order.
+std::string FormatFleetProcedureListing(const std::vector<FleetProcedureRow>& rows,
+                                        const std::vector<std::string>& host_names,
+                                        const std::string& secondary_name,
+                                        size_t max_rows = 0);
+
 }  // namespace dcpi
 
 #endif  // SRC_TOOLS_DCPIPROF_H_

@@ -1,8 +1,13 @@
 // dcpiprof CLI: procedure/image listings from an on-disk profile database.
 //
 // Usage:
-//   dcpiprof [-i] [--jobs N] [--epoch N]... [--all-epochs]
+//   dcpiprof [-i] [--fleet] [--jobs N] [--epoch N]... [--all-epochs]
 //            <db_root> <image_file>...
+//
+// With --fleet, <db_root> is a fleet root of host_<id> shard databases:
+// the listing aggregates samples across every host (merge-on-read) and
+// adds a by-host breakdown column, so fleet-wide hot procedures and the
+// hosts responsible for them show up in one report.
 //
 // Each image_file is a serialized ExecutableImage (see dcpi_sim, which
 // writes them next to the database). -i lists by image instead of by
@@ -29,8 +34,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcpiprof [-i] [--jobs N] [--epoch N]... [--all-epochs] "
-               "<db_root> <image_file>...\n");
+               "usage: dcpiprof [-i] [--fleet] [--jobs N] [--epoch N]... "
+               "[--all-epochs] <db_root> <image_file>...\n");
   return 2;
 }
 
@@ -70,36 +75,48 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // One slot per image, profiles merged across the resolved epochs in
-  // parallel and assembled in input order below (slots keep the profiles
-  // at stable addresses).
+  // One slot per (host, image) cell — a plain open is a 1-host grid.
+  // Profiles merge across the resolved epochs in parallel and are
+  // assembled in host-then-input order below (slots keep the profiles at
+  // stable addresses), so output is byte-identical for any jobs count and
+  // any shard enumeration order.
   const ToolContext& ctx = context.value();
+  const size_t num_hosts = ctx.fleet != nullptr ? ctx.fleet->num_hosts() : 1;
+  const size_t num_images = images.value().size();
   struct Slot {
     std::optional<ImageProfile> cycles, secondary;
   };
-  std::vector<Slot> slots(images.value().size());
+  std::vector<Slot> slots(num_hosts * num_images);
   ThreadPool pool(options.jobs);
-  pool.ParallelFor(slots.size(), [&](size_t i, int) {
-    const auto& image = images.value()[i];
+  pool.ParallelFor(slots.size(), [&](size_t cell, int) {
+    const ProfileDatabase& db = ctx.fleet != nullptr
+                                    ? ctx.fleet->host(cell / num_images)
+                                    : *ctx.db;
+    const auto& image = images.value()[cell % num_images];
     Result<ImageProfile> cycles =
-        ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kCycles);
+        ReadMergedProfile(db, ctx.epochs, image->name(), EventType::kCycles);
     if (!cycles.ok()) return;  // image not profiled in these epochs
-    slots[i].cycles = std::move(cycles).value();
+    slots[cell].cycles = std::move(cycles).value();
     Result<ImageProfile> imiss =
-        ReadMergedProfile(*ctx.db, ctx.epochs, image->name(), EventType::kImiss);
-    if (imiss.ok()) slots[i].secondary = std::move(imiss).value();
+        ReadMergedProfile(db, ctx.epochs, image->name(), EventType::kImiss);
+    if (imiss.ok()) slots[cell].secondary = std::move(imiss).value();
   });
 
-  std::vector<ProfInput> inputs;
-  for (size_t i = 0; i < slots.size(); ++i) {
-    if (!slots[i].cycles.has_value()) continue;
-    ProfInput input;
-    input.image = images.value()[i];
-    input.cycles = &*slots[i].cycles;
-    if (slots[i].secondary.has_value()) input.secondary = &*slots[i].secondary;
-    inputs.push_back(input);
+  std::vector<std::vector<ProfInput>> per_host(num_hosts);
+  size_t profiled = 0;
+  for (size_t h = 0; h < num_hosts; ++h) {
+    for (size_t i = 0; i < num_images; ++i) {
+      Slot& slot = slots[h * num_images + i];
+      if (!slot.cycles.has_value()) continue;
+      ProfInput input;
+      input.image = images.value()[i];
+      input.cycles = &*slot.cycles;
+      if (slot.secondary.has_value()) input.secondary = &*slot.secondary;
+      per_host[h].push_back(input);
+      ++profiled;
+    }
   }
-  if (inputs.empty()) {
+  if (profiled == 0) {
     std::fprintf(stderr,
                  "no CYCLES profiles for the given images in the requested "
                  "epoch(s) of %s\n",
@@ -107,9 +124,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (by_image) {
-    std::fputs(FormatImageListing(ListImages(inputs)).c_str(), stdout);
+    // ListImages sums duplicate image keys, so the flattened grid yields
+    // fleet-wide image totals directly.
+    std::vector<ProfInput> all;
+    for (const std::vector<ProfInput>& host : per_host) {
+      all.insert(all.end(), host.begin(), host.end());
+    }
+    std::fputs(FormatImageListing(ListImages(all)).c_str(), stdout);
+  } else if (ctx.fleet != nullptr) {
+    std::fputs(FormatFleetProcedureListing(ListFleetProcedures(per_host),
+                                           ctx.fleet->host_names(), "imiss")
+                   .c_str(),
+               stdout);
   } else {
-    std::fputs(FormatProcedureListing(ListProcedures(inputs), "imiss").c_str(), stdout);
+    std::fputs(FormatProcedureListing(ListProcedures(per_host[0]), "imiss").c_str(),
+               stdout);
   }
   return 0;
 }

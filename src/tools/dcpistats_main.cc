@@ -3,8 +3,14 @@
 // continuous run).
 //
 // Usage:
-//   dcpistats [--jobs N] [--epoch N]... [--all-epochs]
+//   dcpistats [--fleet] [--jobs N] [--epoch N]... [--all-epochs]
 //             <db_root> <image_file>...
+//
+// With --fleet, <db_root> is a fleet root of host_<id> shards and each
+// *host* is one sample set (folded across the resolved epochs), so the
+// report shows cross-host variance — which procedures burn cycles
+// uniformly across the fleet and which are outliers on a few machines.
+// At least two hosts must be present.
 //
 // By default every sealed epoch is a sample set (a fresh batch database
 // with no seals uses every epoch); --epoch N (repeatable) names epochs
@@ -30,8 +36,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcpistats [--jobs N] [--epoch N]... [--all-epochs] "
-               "<db_root> <image_file>...\n");
+               "usage: dcpistats [--fleet] [--jobs N] [--epoch N]... "
+               "[--all-epochs] <db_root> <image_file>...\n");
   return 2;
 }
 
@@ -62,16 +68,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   const ToolContext& ctx = context.value();
-  const ScanReport& scan = ctx.db->scan_report();
-  if (scan.files_checked > 0 || scan.files_quarantined > 0) {
-    std::fprintf(stderr, "%s\n%s", scan.ToString().c_str(),
-                 scan.DetailString().c_str());
+  if (ctx.db != nullptr) {
+    const ScanReport& scan = ctx.db->scan_report();
+    if (scan.files_checked > 0 || scan.files_quarantined > 0) {
+      std::fprintf(stderr, "%s\n%s", scan.ToString().c_str(),
+                   scan.DetailString().c_str());
+    }
   }
-  if (ctx.epochs.size() < 2) {
+  // One sample set per epoch normally; one per host with --fleet.
+  const bool fleet = ctx.fleet != nullptr;
+  const size_t num_sets = fleet ? ctx.fleet->num_hosts() : ctx.epochs.size();
+  if (num_sets < 2) {
     std::fprintf(stderr,
-                 "dcpistats needs at least two epochs to compare (resolved "
+                 "dcpistats needs at least two %s to compare (resolved "
                  "%zu in %s)\n",
-                 ctx.epochs.size(), db_root.c_str());
+                 fleet ? "hosts" : "epochs", num_sets, db_root.c_str());
     return 1;
   }
   Result<std::vector<std::shared_ptr<ExecutableImage>>> images =
@@ -81,22 +92,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Read every (epoch, image) CYCLES profile in parallel into a flat grid,
-  // then fold into per-epoch sample sets in order.
+  // Read every (set, image) CYCLES profile in parallel into a flat grid,
+  // then fold into sample sets in order. A fleet cell folds one host
+  // across every resolved epoch; a plain cell reads one epoch.
   const size_t num_images = images.value().size();
-  std::vector<std::optional<ImageProfile>> grid(ctx.epochs.size() * num_images);
+  std::vector<std::optional<ImageProfile>> grid(num_sets * num_images);
   ThreadPool pool(options.jobs);
   pool.ParallelFor(grid.size(), [&](size_t cell, int) {
-    uint32_t epoch = ctx.epochs[cell / num_images];
     const auto& image = images.value()[cell % num_images];
     Result<ImageProfile> cycles =
-        ctx.db->ReadProfile(epoch, image->name(), EventType::kCycles);
+        fleet ? ReadMergedProfile(ctx.fleet->host(cell / num_images), ctx.epochs,
+                                  image->name(), EventType::kCycles)
+              : ctx.db->ReadProfile(ctx.epochs[cell / num_images], image->name(),
+                                    EventType::kCycles);
     if (cycles.ok()) grid[cell] = std::move(cycles).value();
   });
 
   std::vector<ProcedureSamples> sets;
   size_t profiles_read = 0;
-  for (size_t e = 0; e < ctx.epochs.size(); ++e) {
+  for (size_t e = 0; e < num_sets; ++e) {
     std::vector<ProfInput> inputs;
     for (size_t i = 0; i < num_images; ++i) {
       std::optional<ImageProfile>& cycles = grid[e * num_images + i];
@@ -116,6 +130,13 @@ int main(int argc, char** argv) {
                  "epoch of %s\n",
                  db_root.c_str());
     return 1;
+  }
+  if (fleet) {
+    std::fprintf(stdout, "fleet of %zu host(s), sample sets by host:", num_sets);
+    for (const std::string& name : ctx.fleet->host_names()) {
+      std::fprintf(stdout, " %s", name.c_str());
+    }
+    std::fprintf(stdout, "\n\n");
   }
   std::fputs(FormatStats(sets, ComputeStats(sets)).c_str(), stdout);
   return 0;

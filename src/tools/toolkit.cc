@@ -10,10 +10,7 @@
 
 namespace dcpi {
 
-namespace {
-
-// Strictly numeric parse for flag values (--epoch 2x is an error, not 2).
-bool ParseU32(const char* s, uint32_t* out) {
+bool ParseUint32(const char* s, uint32_t* out) {
   if (*s == '\0') return false;
   uint64_t value = 0;
   for (const char* p = s; *p != '\0'; ++p) {
@@ -25,8 +22,6 @@ bool ParseU32(const char* s, uint32_t* out) {
   return true;
 }
 
-}  // namespace
-
 int ParseToolFlag(int argc, char** argv, int* arg, ToolOptions* options) {
   const char* flag = argv[*arg];
   if (std::strcmp(flag, "--all-epochs") == 0) {
@@ -37,17 +32,21 @@ int ParseToolFlag(int argc, char** argv, int* arg, ToolOptions* options) {
     options->use_cache = false;
     return 1;
   }
+  if (std::strcmp(flag, "--fleet") == 0) {
+    options->fleet = true;
+    return 1;
+  }
   if (std::strcmp(flag, "--jobs") == 0) {
     if (*arg + 1 >= argc) return -1;
     uint32_t jobs = 0;
-    if (!ParseU32(argv[++*arg], &jobs)) return -1;
+    if (!ParseUint32(argv[++*arg], &jobs)) return -1;
     options->jobs = static_cast<int>(jobs);
     return 1;
   }
   if (std::strcmp(flag, "--epoch") == 0) {
     if (*arg + 1 >= argc) return -1;
     uint32_t epoch = 0;
-    if (!ParseU32(argv[++*arg], &epoch)) return -1;
+    if (!ParseUint32(argv[++*arg], &epoch)) return -1;
     options->epochs.push_back(epoch);
     return 1;
   }
@@ -57,7 +56,14 @@ int ParseToolFlag(int argc, char** argv, int* arg, ToolOptions* options) {
 Result<ToolContext> OpenToolDatabase(const std::string& db_root,
                                      const ToolOptions& options) {
   ToolContext context;
-  context.db = std::make_unique<ProfileDatabase>(db_root, DbOpenMode::kReadOnly);
+  if (options.fleet) {
+    context.fleet = std::make_unique<FleetView>(db_root);
+    if (context.fleet->num_hosts() == 0) {
+      return NotFound("no host_<id> shards under fleet root " + db_root);
+    }
+  } else {
+    context.db = std::make_unique<ProfileDatabase>(db_root, DbOpenMode::kReadOnly);
+  }
   if (!options.epochs.empty()) {
     context.epochs = options.epochs;
     std::sort(context.epochs.begin(), context.epochs.end());
@@ -66,8 +72,13 @@ Result<ToolContext> OpenToolDatabase(const std::string& db_root,
         context.epochs.end());
     return context;
   }
-  std::vector<uint32_t> pool = context.db->ListSealedEpochs();
-  if (pool.empty()) pool = context.db->ListEpochs();
+  std::vector<uint32_t> pool = context.fleet != nullptr
+                                   ? context.fleet->ListSealedEpochs()
+                                   : context.db->ListSealedEpochs();
+  if (pool.empty()) {
+    pool = context.fleet != nullptr ? context.fleet->ListEpochs()
+                                    : context.db->ListEpochs();
+  }
   if (pool.empty()) {
     return NotFound("no epochs in profile database " + db_root);
   }
@@ -115,6 +126,15 @@ Result<ImageProfile> ReadMergedProfile(const ProfileDatabase& db,
     }
   }
   return merged;
+}
+
+Result<ImageProfile> ReadMergedProfile(const ToolContext& context,
+                                       const std::string& image_name,
+                                       EventType event) {
+  if (context.fleet != nullptr) {
+    return context.fleet->ReadProfile(context.epochs, image_name, event);
+  }
+  return ReadMergedProfile(*context.db, context.epochs, image_name, event);
 }
 
 std::vector<ProfInput> GatherProfInputs(System& system, EventType secondary) {

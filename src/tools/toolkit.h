@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/profiledb/fleet.h"
 #include "src/sim/system.h"
 #include "src/tools/dcpiprof.h"
 #include "src/tools/dcpistats.h"
@@ -28,6 +29,8 @@ namespace dcpi {
 //                  sealed yet)
 //   --jobs N       worker threads (default: hardware concurrency)
 //   --no-cache     disable the content-addressed analysis result cache
+//   --fleet        treat the database path as a fleet root of host_<id>
+//                  shards and merge across hosts on read
 // With no epoch flag, a tool reads the latest sealed epoch (or the latest
 // epoch of a fresh batch database). Databases are opened read-only, so a
 // tool can run concurrently against a database a daemon is still writing.
@@ -36,6 +39,7 @@ struct ToolOptions {
   int jobs = 0;
   bool use_cache = true;
   bool all_epochs = false;
+  bool fleet = false;
   std::vector<uint32_t> epochs;  // explicit --epoch values, as given
 };
 
@@ -45,15 +49,25 @@ struct ToolOptions {
 // flag with a missing or malformed value (print usage, exit 2).
 int ParseToolFlag(int argc, char** argv, int* arg, ToolOptions* options);
 
+// Strictly numeric uint32 parse for CLI values: every character must be a
+// digit and the value must fit ("2x", "", "-1", and overflow all fail).
+// Tool mains use this instead of atoi so a typo exits 2 with usage instead
+// of silently running with a half-parsed number.
+bool ParseUint32(const char* s, uint32_t* out);
+
 struct ToolContext {
-  std::unique_ptr<ProfileDatabase> db;  // opened DbOpenMode::kReadOnly
-  std::vector<uint32_t> epochs;         // resolved, ascending, deduplicated
+  // Exactly one of these is set: `db` for a single-host database, `fleet`
+  // for a --fleet open over host_<id> shards (all opened kReadOnly).
+  std::unique_ptr<ProfileDatabase> db;
+  std::unique_ptr<FleetView> fleet;
+  std::vector<uint32_t> epochs;  // resolved, ascending, deduplicated
 };
 
 // Opens the database read-only and resolves the epoch set per the rules
 // above. Explicit --epoch values pass through even when the epoch does not
 // exist (the missing profiles surface downstream); otherwise an empty
-// database is an error.
+// database is an error. With options.fleet, `db_root` must contain at
+// least one host_<id> shard and the epoch pool is the fleet-wide union.
 Result<ToolContext> OpenToolDatabase(const std::string& db_root,
                                      const ToolOptions& options);
 
@@ -67,6 +81,12 @@ Result<std::vector<std::shared_ptr<ExecutableImage>>> LoadImageSet(
 // the profile.
 Result<ImageProfile> ReadMergedProfile(const ProfileDatabase& db,
                                        const std::vector<uint32_t>& epochs,
+                                       const std::string& image_name,
+                                       EventType event);
+
+// Same through a ToolContext: dispatches to the single database or the
+// fleet merge-on-read path, whichever the context holds.
+Result<ImageProfile> ReadMergedProfile(const ToolContext& context,
                                        const std::string& image_name,
                                        EventType event);
 

@@ -46,6 +46,18 @@ TEST_F(CliExitTest, UsageErrorsExitTwo) {
   // Malformed shared flags are usage errors in every reader tool.
   EXPECT_EQ(RunTool("dcpiprof --epoch nope db img"), 2);
   EXPECT_EQ(RunTool("dcpistats --jobs -3 db img"), 2);
+  // Strict numeric parsing: half-numeric and negative values are rejected
+  // everywhere, not silently truncated by atoi.
+  EXPECT_EQ(RunTool("dcpidiff db 0x 1 img"), 2);
+  EXPECT_EQ(RunTool("dcpidiff db 0 -1 img"), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --epochs 2x copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --quanta nope copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --fleet 0 copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --fleet x copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpi_sim copy " + root_ + " cycles -0.5"), 2);
+  EXPECT_EQ(RunTool("dcpi_sim copy " + root_ + " cycles 0.25 4x"), 2);
+  // --compact only makes sense for a fleet run.
+  EXPECT_EQ(RunTool("dcpi_sim --compact copy " + root_), 2);
 }
 
 TEST_F(CliExitTest, MissingInputsExitOne) {
@@ -92,6 +104,40 @@ TEST_F(CliExitTest, ContinuousPipelineExitsZeroAndEmptyEpochsExitOne) {
             1);
   // dcpistats compares sample sets; one epoch is not enough.
   EXPECT_EQ(RunTool("dcpistats --epoch 0 " + db + " " + image), 1);
+
+  // --fleet against a plain (non-sharded) database is a data failure.
+  EXPECT_EQ(RunTool("dcpiprof --fleet " + db + " " + image), 1);
+  EXPECT_EQ(RunTool("dcpistats --fleet " + db + " " + image), 1);
+}
+
+TEST_F(CliExitTest, FleetPipelineExitsZero) {
+  // End to end at fleet scale: two hosts collected concurrently with
+  // background compaction, then every --fleet reader over the shard root,
+  // and the plain readers over the compacted merge.
+  ASSERT_EQ(RunTool("dcpi_sim --fleet 2 --compact --continuous --epochs 2 "
+                    "copy " + root_ + " cycles 0.25"),
+            0);
+  const std::string fleet = root_ + "/db";
+  std::string all_images;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_ + "/images")) {
+    all_images += ' ';
+    all_images += entry.path().string();
+  }
+  ASSERT_FALSE(all_images.empty());
+  ASSERT_TRUE(std::filesystem::exists(fleet + "/host_0"));
+  ASSERT_TRUE(std::filesystem::exists(fleet + "/host_1"));
+
+  EXPECT_EQ(RunTool("dcpiprof --fleet " + fleet + all_images), 0);
+  EXPECT_EQ(RunTool("dcpiprof --fleet --all-epochs " + fleet + all_images), 0);
+  EXPECT_EQ(RunTool("dcpiprof --fleet -i " + fleet + all_images), 0);
+  EXPECT_EQ(RunTool("dcpistats --fleet " + fleet + all_images), 0);
+  EXPECT_EQ(RunTool("dcpicheck --fleet --all-epochs " + fleet + all_images), 0);
+
+  // The compacted merge is a regular database the plain tools can read.
+  ASSERT_TRUE(std::filesystem::exists(fleet + "/merged"));
+  EXPECT_EQ(RunTool("dcpiprof --all-epochs " + fleet + "/merged" + all_images), 0);
+  EXPECT_EQ(RunTool("dcpistats " + fleet + "/merged" + all_images), 0);
 }
 
 }  // namespace

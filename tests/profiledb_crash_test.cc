@@ -235,6 +235,69 @@ TEST_F(ProfileDbCrashTest, DaemonFlushReportsPersistentFailureAndContinues) {
 
 // ---- Legacy compatibility ----
 
+TEST_F(ProfileDbCrashTest, ReadOnlyScanRescansWhenEpochSealsMidScan) {
+  // Race regression: a concurrent writer's final flush and .sealed marker
+  // land in the window between the read-only scan's directory listing and
+  // its per-file reads. A single-pass scan would report the epoch unsealed
+  // yet miss the file the seal guarantees is final; the scan must detect
+  // the unsealed-to-sealed transition and rescan the (now immutable) epoch.
+  {
+    ProfileDatabase db(root_);
+    ASSERT_TRUE(db.NewEpoch().ok());
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("early", 3)).ok());
+    // not sealed: the writer is still mid-epoch
+  }
+  FaultInjectingEnv env;
+  bool fired = false;
+  env.SetEpochScanHook([&](uint32_t epoch) {
+    if (fired || epoch != 0) return;  // fire once; the rescan must not loop
+    fired = true;
+    const std::string epoch_dir = root_ + "/epoch_0";
+    ASSERT_TRUE(WriteFileAtomic(
+                    epoch_dir + "/" +
+                        ProfileDatabase::ProfileFileName("late", EventType::kCycles),
+                    SerializeProfile(MakeProfile("late", 5)))
+                    .ok());
+    ASSERT_TRUE(WriteFileAtomic(epoch_dir + "/.sealed", {}).ok());
+  });
+  SetFaultInjectingEnv(&env);
+  ProfileDatabase reader(root_, DbOpenMode::kReadOnly);
+  SetFaultInjectingEnv(nullptr);
+  ASSERT_TRUE(fired);
+
+  // The surviving pass saw the sealed epoch with both files; the aborted
+  // first pass contributes nothing to the counters.
+  const ScanReport& report = reader.scan_report();
+  ASSERT_EQ(report.epochs.size(), 1u);
+  EXPECT_TRUE(report.epochs[0].sealed);
+  EXPECT_EQ(report.epochs[0].files, 2u);
+  EXPECT_EQ(report.epochs[0].samples, 8u);
+  EXPECT_EQ(report.files_checked, 2u);
+  EXPECT_EQ(report.files_recovered, 2u);
+  EXPECT_EQ(SamplesOrZero(reader, 0, "early"), 3u);
+  EXPECT_EQ(SamplesOrZero(reader, 0, "late"), 5u);
+}
+
+TEST_F(ProfileDbCrashTest, ReadWriteScanDoesNotRescan) {
+  // The recovery scan on a read-write open is the writer itself: the hook
+  // fires exactly once per epoch and no second pass runs (a rescan would
+  // double-quarantine).
+  {
+    ProfileDatabase db(root_);
+    ASSERT_TRUE(db.NewEpoch().ok());
+    ASSERT_TRUE(db.WriteProfile(MakeProfile("app", 2)).ok());
+    ASSERT_TRUE(db.SealCurrentEpoch().ok());
+  }
+  FaultInjectingEnv env;
+  int hook_calls = 0;
+  env.SetEpochScanHook([&](uint32_t) { ++hook_calls; });
+  SetFaultInjectingEnv(&env);
+  ProfileDatabase reopened(root_);
+  SetFaultInjectingEnv(nullptr);
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_EQ(reopened.scan_report().files_checked, 1u);
+}
+
 TEST_F(ProfileDbCrashTest, LegacyFileNamesAndFormatsStayReadable) {
   // A database written before this change: v2 bytes under the old
   // '/'-to-'_' file name.

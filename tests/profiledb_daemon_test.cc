@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 
 #include "src/daemon/daemon.h"
@@ -130,6 +131,25 @@ TEST_F(DbTest, MergeWeightsMeanPeriodBySamples) {
   c.AddSamples(0, 1);
   c.Merge(b);
   EXPECT_EQ(c.mean_period(), 4000.0);
+}
+
+TEST_F(DbTest, MergeOfEmptyProfilesKeepsFinitePeriod) {
+  // Pins the zero-total-weight guard: merging two sample-less profiles
+  // (sealed-but-idle epochs, empty fleet shards) must not divide by zero —
+  // the existing period is kept, never replaced with NaN.
+  ImageProfile a("img", EventType::kCycles, 1000);
+  ImageProfile b("img", EventType::kCycles, 4000);
+  a.Merge(b);
+  EXPECT_EQ(a.total_samples(), 0u);
+  EXPECT_TRUE(std::isfinite(a.mean_period()));
+  EXPECT_EQ(a.mean_period(), 1000.0);
+
+  // And an empty right-hand side never disturbs a populated left.
+  ImageProfile c("img", EventType::kCycles, 2000);
+  c.AddSamples(8, 5);
+  c.Merge(ImageProfile("img", EventType::kCycles, 0));
+  EXPECT_EQ(c.mean_period(), 2000.0);
+  EXPECT_EQ(c.total_samples(), 5u);
 }
 
 TEST_F(DbTest, ReopeningPopulatedRootResumesEpochNumbering) {
