@@ -15,14 +15,20 @@
 # New/rewritten targets build with -Werror (wired in the CMakeLists); any
 # warning in them fails the build and therefore this script.
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only] [--fast] [--lint]
-#                         [--bench-smoke]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--wthread-only] [--fast]
+#                         [--lint] [--wthread] [--bench-smoke]
 #   --fast runs only the concurrency-relevant tests under TSan and the
 #   crash/corruption/durability tests under ASan (the full suites are slow
 #   on small hosts).
 #   --lint additionally runs clang-tidy (config in .clang-tidy) over the
 #   compile-commands database. Skipped with a notice when clang-tidy is not
 #   installed, so the gate stays usable on minimal containers.
+#   --wthread additionally builds build-wthread with clang++ and
+#   -Wthread-safety -Werror=thread-safety (the static lock-discipline
+#   gate: every GUARDED_BY/REQUIRES contract in src/ is compiler-checked)
+#   and runs the negative compile test. Skipped with a notice when clang++
+#   is not installed (same pattern as --lint). --wthread-only runs just
+#   that gate.
 #   --bench-smoke additionally runs bench_analysis_scaling --smoke,
 #   bench_continuous --smoke, bench_fleet_scaling --smoke, and
 #   bench_table4_overhead_components --smoke in each sanitized build, so
@@ -41,13 +47,16 @@ RUN_TSAN=1
 RUN_ASAN=1
 FAST=0
 LINT=0
+WTHREAD=0
 BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --tsan-only) RUN_ASAN=0 ;;
     --asan-only) RUN_TSAN=0 ;;
+    --wthread-only) RUN_TSAN=0; RUN_ASAN=0; WTHREAD=1 ;;
     --fast) FAST=1 ;;
     --lint) LINT=1 ;;
+    --wthread) WTHREAD=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -74,8 +83,33 @@ run_lint() {
   echo "=== lint passed ==="
 }
 
+run_wthread() {
+  local cxx
+  cxx=$(command -v clang++ || true)
+  if [[ -z "$cxx" ]]; then
+    echo "=== wthread skipped: clang++ not installed (-Wthread-safety is Clang-only) ==="
+    return 0
+  fi
+  echo "=== configuring build-wthread (clang++, -Wthread-safety -Werror=thread-safety) ==="
+  # The thread-safety flags are added automatically for Clang by the
+  # top-level CMakeLists; selecting clang++ is what arms them.
+  cmake -B build-wthread -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="$cxx" >/dev/null
+  echo "=== building build-wthread (any thread-safety warning is an error) ==="
+  cmake --build build-wthread -j "$JOBS"
+  echo "=== wthread negative tests (seeded violations must be caught) ==="
+  ctest --test-dir build-wthread --output-on-failure \
+    -R 'WthreadNegative|LockHierarchy'
+  echo "=== wthread gate passed ==="
+}
+
 if [[ "$LINT" == 1 ]]; then
   run_lint
+fi
+
+if [[ "$WTHREAD" == 1 ]]; then
+  run_wthread
 fi
 
 run_config() {
@@ -112,7 +146,7 @@ run_config() {
 if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet"
+    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet|LockHierarchy|WthreadNegative"
   fi
   run_config build-tsan "-fsanitize=thread -O1 -g -fno-omit-frame-pointer" "$TSAN_FILTER"
 fi
@@ -120,7 +154,7 @@ fi
 if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet"
+    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet|LockHierarchy|WthreadNegative"
   fi
   run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" "$ASAN_FILTER"
 fi

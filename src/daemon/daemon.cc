@@ -36,7 +36,7 @@ void Daemon::set_epoch_policy(const EpochPolicy& policy) {
 void Daemon::ProcessLoaderEvents(std::vector<LoaderEvent> events) {
   bool map_changed = false;
   {
-    std::unique_lock lock(maps_mu_);
+    WriterMutexLock lock(&maps_mu_);
     for (LoaderEvent& event : events) {
       if (event.kind == LoaderEvent::Kind::kLoadImage && event.image != nullptr) {
         std::vector<Mapping>& maps = load_maps_[event.pid];
@@ -86,12 +86,18 @@ const Daemon::Mapping* Daemon::ResolvePc(uint32_t pid, uint64_t pc) const {
 
 Daemon::ProfileSlot* Daemon::SlotFor(const std::string& image_name, EventType event) {
   auto key = std::make_pair(image_name, static_cast<int>(event));
-  std::lock_guard lock(profiles_mu_);
+  MutexLock lock(&profiles_mu_);
   auto it = profiles_.find(key);
   if (it == profiles_.end()) {
     auto slot = std::make_unique<ProfileSlot>();
-    slot->profile = ImageProfile(image_name, event,
-                                 mean_periods_[static_cast<int>(event)]);
+    {
+      // The slot is not yet published, but the profile is guarded state;
+      // the uncontended lock keeps the initialization inside the
+      // capability contract.
+      MutexLock slot_lock(&slot->mu);
+      slot->profile = ImageProfile(image_name, event,
+                                   mean_periods_[static_cast<int>(event)]);
+    }
     it = profiles_.emplace(key, std::move(slot)).first;
   }
   return it->second.get();
@@ -108,7 +114,7 @@ void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& rec
 }
 
 void Daemon::IngestPerSample(const std::vector<SampleRecord>& records) {
-  std::shared_lock maps_lock(maps_mu_);
+  ReaderMutexLock maps_lock(&maps_mu_);
   for (const SampleRecord& record : records) {
     records_processed_.fetch_add(1, std::memory_order_relaxed);
     daemon_cycles_.fetch_add(config_.cycles_per_record, std::memory_order_relaxed);
@@ -118,13 +124,13 @@ void Daemon::IngestPerSample(const std::vector<SampleRecord>& records) {
     if (mapping == nullptr) {
       samples_unknown_.fetch_add(record.count, std::memory_order_relaxed);
       ProfileSlot* slot = SlotFor(kUnknownImage, record.key.event);
-      std::lock_guard lock(slot->mu);
+      MutexLock lock(&slot->mu);
       slot->profile.AddSamples(0, record.count);
       continue;
     }
     samples_attributed_.fetch_add(record.count, std::memory_order_relaxed);
     ProfileSlot* slot = SlotFor(mapping->image->name(), record.key.event);
-    std::lock_guard lock(slot->mu);
+    MutexLock lock(&slot->mu);
     slot->profile.AddSamples(record.key.pc - mapping->start, record.count);
   }
 }
@@ -144,7 +150,7 @@ void Daemon::IngestBatched(const std::vector<SampleRecord>& records) {
   uint64_t attributed = 0;
   uint64_t unknown = 0;
   {
-    std::shared_lock maps_lock(maps_mu_);
+    ReaderMutexLock maps_lock(&maps_mu_);
     for (const SampleRecord& record : records) {
       if (record.count == 0) continue;  // carries no samples
       const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
@@ -177,7 +183,7 @@ void Daemon::IngestBatched(const std::vector<SampleRecord>& records) {
   // slot's dense staging vector (offset/4-indexed, like ExtractDense's
   // output) with a plain array add instead of a profile-map insertion.
   for (Group& group : groups) {
-    std::lock_guard lock(group.slot->mu);
+    MutexLock lock(&group.slot->mu);
     for (const auto& [offset, count] : group.entries) {
       size_t index = offset / 4;
       if (offset % 4 != 0) {
@@ -252,7 +258,7 @@ Status Daemon::FlushProfilesLocked() {
   // torn write, and the (slow) file IO happens outside every lock.
   std::vector<ProfileSlot*> slots;
   {
-    std::lock_guard lock(profiles_mu_);
+    MutexLock lock(&profiles_mu_);
     slots.reserve(profiles_.size());
     for (const auto& [key, slot] : profiles_) slots.push_back(slot.get());
   }
@@ -261,7 +267,7 @@ Status Daemon::FlushProfilesLocked() {
   for (ProfileSlot* slot : slots) {
     ImageProfile snapshot;
     {
-      std::lock_guard lock(slot->mu);
+      MutexLock lock(&slot->mu);
       DrainStagingLocked(slot);
       if (slot->profile.distinct_offsets() == 0) continue;
       snapshot = slot->profile;
@@ -288,7 +294,7 @@ Status Daemon::FlushProfilesLocked() {
 
 Status Daemon::FlushToDatabase() {
   if (driver_ != nullptr) driver_->FlushAll();
-  std::lock_guard lock(flush_mu_);
+  MutexLock lock(&flush_mu_);
   return FlushProfilesLocked();
 }
 
@@ -304,7 +310,7 @@ bool Daemon::MaybeTimedFlush() {
   if (database_ == nullptr || policy_.flush_interval_cycles == 0) return false;
   uint64_t now = sim_now_.load(std::memory_order_acquire);
   if (now < next_flush_due_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard lock(flush_mu_);
+  MutexLock lock(&flush_mu_);
   uint64_t due = next_flush_due_.load(std::memory_order_relaxed);
   if (now < due) return false;  // another flush beat us to it
   // A failed timed flush is counted in db_write_failures and retried at
@@ -340,7 +346,7 @@ Status Daemon::RollEpoch(uint64_t at_cycles) {
   Status result = Status::Ok();
   bool sealed = false;
   {
-    std::lock_guard lock(flush_mu_);
+    MutexLock lock(&flush_mu_);
     result = FlushProfilesLocked();
     if (database_ != nullptr && database_->has_open_epoch()) {
       Status seal = database_->SealCurrentEpoch(at_cycles);
@@ -360,9 +366,10 @@ Status Daemon::RollEpoch(uint64_t at_cycles) {
   // The sealed epoch's samples now live on disk; the in-memory slots
   // restart empty for the new epoch (identity and periods kept).
   {
-    std::lock_guard lock(profiles_mu_);
-    for (const auto& [key, slot] : profiles_) {
-      std::lock_guard slot_lock(slot->mu);
+    MutexLock lock(&profiles_mu_);
+    for (const auto& [key, slot_ptr] : profiles_) {
+      ProfileSlot* slot = slot_ptr.get();
+      MutexLock slot_lock(&slot->mu);
       // The flush above drained all staging; zero it again defensively so
       // a staged sample can never survive into the next epoch.
       std::fill(slot->staged.begin(), slot->staged.end(), 0);
@@ -384,13 +391,13 @@ Status Daemon::SealCurrentEpoch(uint64_t at_cycles) {
   if (samples_since_roll_.load(std::memory_order_relaxed) == 0) {
     return Status::Ok();
   }
-  std::lock_guard lock(flush_mu_);
+  MutexLock lock(&flush_mu_);
   if (!database_->has_open_epoch()) return Status::Ok();  // nothing collected
   return database_->SealCurrentEpoch(at_cycles);
 }
 
 void Daemon::PruneDeadMaps() {
-  std::unique_lock lock(maps_mu_);
+  WriterMutexLock lock(&maps_mu_);
   for (auto it = load_maps_.begin(); it != load_maps_.end();) {
     std::vector<Mapping>& maps = it->second;
     maps.erase(std::remove_if(maps.begin(), maps.end(),
@@ -402,21 +409,22 @@ void Daemon::PruneDeadMaps() {
 
 const ImageProfile* Daemon::FindProfile(const std::string& image_name,
                                         EventType event) const {
-  std::lock_guard lock(profiles_mu_);
+  MutexLock lock(&profiles_mu_);
   auto it = profiles_.find(std::make_pair(image_name, static_cast<int>(event)));
   if (it == profiles_.end()) return nullptr;
   ProfileSlot* slot = it->second.get();
-  std::lock_guard slot_lock(slot->mu);
+  MutexLock slot_lock(&slot->mu);
   DrainStagingLocked(slot);
   return &slot->profile;
 }
 
 std::vector<const ImageProfile*> Daemon::AllProfiles() const {
-  std::lock_guard lock(profiles_mu_);
+  MutexLock lock(&profiles_mu_);
   std::vector<const ImageProfile*> all;
-  for (const auto& [key, slot] : profiles_) {
-    std::lock_guard slot_lock(slot->mu);
-    DrainStagingLocked(slot.get());
+  for (const auto& [key, slot_ptr] : profiles_) {
+    ProfileSlot* slot = slot_ptr.get();
+    MutexLock slot_lock(&slot->mu);
+    DrainStagingLocked(slot);
     all.push_back(&slot->profile);
   }
   return all;
@@ -425,12 +433,13 @@ std::vector<const ImageProfile*> Daemon::AllProfiles() const {
 uint64_t Daemon::MemoryUsageBytes() const {
   uint64_t total = 1 << 16;  // buffers to copy one overflow buffer, misc state
   {
-    std::shared_lock lock(maps_mu_);
+    ReaderMutexLock lock(&maps_mu_);
     for (const auto& [pid, maps] : load_maps_) total += 64 + maps.size() * 48;
   }
-  std::lock_guard lock(profiles_mu_);
-  for (const auto& [key, slot] : profiles_) {
-    std::lock_guard slot_lock(slot->mu);
+  MutexLock lock(&profiles_mu_);
+  for (const auto& [key, slot_ptr] : profiles_) {
+    ProfileSlot* slot = slot_ptr.get();
+    MutexLock slot_lock(&slot->mu);
     total += slot->profile.memory_bytes() + slot->staged.capacity() * 8;
   }
   return total;

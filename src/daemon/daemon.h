@@ -53,8 +53,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -64,6 +62,7 @@
 #include "src/kernel/kernel.h"
 #include "src/profiledb/database.h"
 #include "src/profiledb/profile.h"
+#include "src/support/mutex.h"
 
 namespace dcpi {
 
@@ -224,27 +223,31 @@ class Daemon {
   // granularity, the inverse of ImageProfile::ExtractDense) — and the
   // staged counts are merged into `profile` at every flush or read point,
   // so nothing outside this class ever observes staging lag.
+  //
+  // Slot locks are the innermost daemon locks, and a thread never holds
+  // two at once, so every slot shares one rank.
   struct ProfileSlot {
-    std::mutex mu;
-    ImageProfile profile;
-    std::vector<uint64_t> staged;  // guarded by mu; offset/4 -> samples
-    uint64_t staged_samples = 0;   // guarded by mu; total staged counts
+    Mutex mu{LockRank::kDaemonProfileSlot, "daemon.slot"};
+    ImageProfile profile GUARDED_BY(mu);
+    std::vector<uint64_t> staged GUARDED_BY(mu);  // offset/4 -> samples
+    uint64_t staged_samples GUARDED_BY(mu) = 0;   // total staged counts
   };
 
-  const Mapping* ResolvePc(uint32_t pid, uint64_t pc) const;
-  ProfileSlot* SlotFor(const std::string& image_name, EventType event);
+  const Mapping* ResolvePc(uint32_t pid, uint64_t pc) const
+      REQUIRES_SHARED(maps_mu_);
+  ProfileSlot* SlotFor(const std::string& image_name, EventType event)
+      EXCLUDES(profiles_mu_);
   // Merges `staged` into `profile` and zeroes it. Caller holds slot->mu.
   // Const so the read accessors can drain before exposing a profile.
-  void DrainStagingLocked(ProfileSlot* slot) const;
+  void DrainStagingLocked(ProfileSlot* slot) const REQUIRES(slot->mu);
   // The two ingest paths (see DaemonConfig::batched_ingest). Both hold the
   // load-map shared lock across the buffer.
   void IngestBatched(const std::vector<SampleRecord>& records);
   void IngestPerSample(const std::vector<SampleRecord>& records);
   // Writes every non-empty profile with ReplaceProfile (+1 retry each).
-  // Caller holds flush_mu_.
-  Status FlushProfilesLocked();
+  Status FlushProfilesLocked() REQUIRES(flush_mu_);
   // Erases dead load-map entries (and emptied processes).
-  void PruneDeadMaps();
+  void PruneDeadMaps() EXCLUDES(maps_mu_);
 
   DcpiDriver* driver_;
   ProfileDatabase* database_;
@@ -252,15 +255,33 @@ class Daemon {
   EpochPolicy policy_;
   std::vector<double> mean_periods_;  // indexed by EventType
 
-  mutable std::shared_mutex maps_mu_;  // guards load_maps_
-  std::unordered_map<uint32_t, std::vector<Mapping>> load_maps_;  // pid -> sorted maps
+  // Load-map lock: ingest holds it shared across a whole buffer (PC
+  // resolution), loader-event processing and map pruning hold it
+  // exclusively. Profile-slot creation (profiles_mu_) nests inside it.
+  mutable SharedMutex maps_mu_{LockRank::kDaemonLoadMaps, "daemon.maps"};
+  std::unordered_map<uint32_t, std::vector<Mapping>> load_maps_
+      GUARDED_BY(maps_mu_);  // pid -> sorted maps
 
-  mutable std::mutex profiles_mu_;  // guards the profiles_ map structure
-  std::map<std::pair<std::string, int>, std::unique_ptr<ProfileSlot>> profiles_;
+  // Guards the profiles_ map *structure* (insertions and iteration); the
+  // slots it points at are guarded by their own per-slot locks.
+  mutable Mutex profiles_mu_{LockRank::kDaemonProfiles, "daemon.profiles"};
+  std::map<std::pair<std::string, int>, std::unique_ptr<ProfileSlot>> profiles_
+      GUARDED_BY(profiles_mu_);
 
   // Serializes database flushes and rolls (a concurrent timed flush and a
-  // quiesce-point roll must not interleave their profile writes).
-  std::mutex flush_mu_;
+  // quiesce-point roll must not interleave their profile writes). Always
+  // the outermost daemon lock: profile snapshots (profiles_mu_, slot
+  // locks) and database writes (the profiledb mutex) all nest inside it.
+  Mutex flush_mu_{LockRank::kDaemonFlush, "daemon.flush"};
+  // Lock-free epoch-trigger state. Invariants:
+  //  * sim_now_ is a monotone max published by the per-CPU workers (CAS
+  //    loop, release); the drain thread reads it with acquire, so a flush
+  //    that fires at T observes every sample published before T.
+  //  * next_flush_due_ is written only under flush_mu_ (the re-arm after
+  //    a flush); the lock-free read in MaybeTimedFlush is a cheap
+  //    early-out, re-validated under flush_mu_ before flushing.
+  //  * pending_map_roll_ is set with release by loader-event processing
+  //    and consumed (read-acquire, then cleared) only at quiesce points.
   std::atomic<uint64_t> sim_now_{0};
   std::atomic<uint64_t> next_flush_due_{0};
   std::atomic<bool> pending_map_roll_{false};

@@ -170,6 +170,24 @@ class DcpiDriver : public SampleSink {
   // Ownership states of one overflow buffer (see the protocol above).
   enum BufState : uint8_t { kFree = 0, kProducer, kPublished, kDraining };
 
+  // The driver is deliberately lock-free: the interrupt path must not
+  // block, so there is no Mutex here and nothing for the capability
+  // analysis to check. The safety argument is instead these explicit
+  // atomic invariants, enforced dynamically by the TSan gate
+  // (driver_concurrency_test, mp_determinism_test via check.sh):
+  //
+  //  * `state` is the sole ownership token for a buffer. `records` and
+  //    `count` are written only by the thread that owns the buffer in the
+  //    current state: the producer while kProducer, the drainer while
+  //    kDraining, nobody while kPublished/kFree.
+  //  * Publication (kProducer -> kPublished) is a release store, ordered
+  //    after the record writes; a drainer claims with an acquire CAS
+  //    (kPublished -> kDraining), so it observes every record the
+  //    producer wrote. Returning the buffer (kDraining -> kFree, release)
+  //    likewise orders the drainer's reads before the producer's acquire
+  //    re-claim (kFree -> kProducer), completing the handoff cycle.
+  //  * A buffer is claimed by at most one drainer at a time: the CAS from
+  //    kPublished can succeed on exactly one thread.
   struct OverflowBuffer {
     std::vector<SampleRecord> records;  // sized to capacity up front
     size_t count = 0;                   // written by the current owner only
@@ -177,6 +195,16 @@ class DcpiDriver : public SampleSink {
   };
 
   // One cache-line-aligned slot per CPU so producers never share lines.
+  // Everything except `buffers[].state` and `flush_requested` is private
+  // to the producer thread simulating this CPU (stats and trace are read
+  // by others only after quiescence — see cpu_stats()):
+  //  * `flush_requested` is the IPI mailbox: any thread may store true,
+  //    only the owning producer clears it. Both sides are relaxed on
+  //    purpose — the flag is a best-effort doorbell (concurrent requests
+  //    coalesce, exactly like coalesced IPIs), and the flushed records
+  //    themselves are ordered by the buffer publish/claim protocol above,
+  //    so the flag carries no data and needs no ordering.
+  //  * `active_buffer` never leaves the producer thread.
   struct alignas(64) PerCpu {
     std::unique_ptr<SampleHashTable> table;
     OverflowBuffer buffers[2];

@@ -114,7 +114,7 @@ Result<Process*> Kernel::CreateProcess(
     DCPI_RETURN_IF_ERROR(process->aspace().MapImage(predecoded));
     process->AddImage(image);
     {
-      std::lock_guard lock(loader_mu_);
+      MutexLock lock(&loader_mu_);
       loader_events_.push_back({LoaderEvent::Kind::kLoadImage, pid, image});
     }
     if (const ProcedureSymbol* proc = image->FindProcedureByName(entry_proc)) {
@@ -148,7 +148,7 @@ void Kernel::EmitExitEvents(const Process& process) {
   // The modified loader reports the teardown of the exiting process's
   // image map (one unload per mapping) before the exit itself, mirroring
   // the load events emitted at creation.
-  std::lock_guard lock(loader_mu_);
+  MutexLock lock(&loader_mu_);
   for (const auto& image : process.images()) {
     loader_events_.push_back({LoaderEvent::Kind::kUnloadImage, process.pid(), image});
   }
@@ -222,7 +222,7 @@ void Kernel::Run(uint64_t max_cycles) {
 }
 
 std::vector<LoaderEvent> Kernel::DrainLoaderEvents() {
-  std::lock_guard lock(loader_mu_);
+  MutexLock lock(&loader_mu_);
   std::vector<LoaderEvent> events;
   events.swap(loader_events_);
   return events;

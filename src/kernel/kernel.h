@@ -28,12 +28,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/cpu/cpu.h"
 #include "src/kernel/process.h"
+#include "src/support/mutex.h"
 
 namespace dcpi {
 
@@ -112,9 +112,14 @@ class Kernel {
   std::vector<std::unique_ptr<Cpu>> cpus_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::deque<Process*>> run_queues_;  // one shard per CPU
-  std::mutex loader_mu_;
-  std::vector<LoaderEvent> loader_events_;
+  // The loader-event queue is the only cross-CPU kernel state: shard
+  // threads append exit events, the simulation loop drains. The lock is a
+  // leaf on the kernel side — nothing else is ever acquired under it.
+  Mutex loader_mu_{LockRank::kKernelLoader, "kernel.loader"};
+  std::vector<LoaderEvent> loader_events_ GUARDED_BY(loader_mu_);
   uint32_t next_pid_ = 1;
+  // Sticky failure flag; set (relaxed) by any shard thread on a process
+  // fault, read after the shards have joined, so no ordering is needed.
   std::atomic<bool> had_error_{false};
 
   std::shared_ptr<const ExecutableImage> vmunix_;

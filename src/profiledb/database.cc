@@ -364,12 +364,12 @@ std::string ProfileDatabase::LegacyProfileFileName(const std::string& image_name
 }
 
 uint32_t ProfileDatabase::current_epoch() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return current_epoch_;
 }
 
 bool ProfileDatabase::has_open_epoch() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return have_epoch_;
 }
 
@@ -377,7 +377,7 @@ Result<uint32_t> ProfileDatabase::NewEpoch() {
   if (mode_ == DbOpenMode::kReadOnly) {
     return FailedPrecondition("database opened read-only");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   uint32_t epoch = have_epoch_ ? current_epoch_ + 1 : next_epoch_;
   std::error_code ec;
   std::filesystem::create_directories(EpochDir(epoch), ec);
@@ -395,7 +395,7 @@ Result<uint32_t> ProfileDatabase::OpenEpoch(uint32_t epoch) {
     return FailedPrecondition("epoch " + std::to_string(epoch) +
                               " is sealed and immutable");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::error_code ec;
   std::filesystem::create_directories(EpochDir(epoch), ec);
   if (ec) return IoError("cannot create epoch dir: " + ec.message());
@@ -408,7 +408,7 @@ Status ProfileDatabase::WriteProfile(const ImageProfile& profile) {
   if (mode_ == DbOpenMode::kReadOnly) {
     return FailedPrecondition("database opened read-only");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return WriteLocked(profile, /*merge=*/true);
 }
 
@@ -416,7 +416,7 @@ Status ProfileDatabase::ReplaceProfile(const ImageProfile& profile) {
   if (mode_ == DbOpenMode::kReadOnly) {
     return FailedPrecondition("database opened read-only");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return WriteLocked(profile, /*merge=*/false);
 }
 
@@ -463,7 +463,7 @@ Status ProfileDatabase::SealEpoch(uint32_t epoch, uint64_t at_cycles) {
   if (mode_ == DbOpenMode::kReadOnly) {
     return FailedPrecondition("database opened read-only");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::error_code ec;
   if (!std::filesystem::is_directory(EpochDir(epoch), ec)) {
     return NotFound("epoch " + std::to_string(epoch) + " does not exist");
@@ -477,7 +477,7 @@ Status ProfileDatabase::SealEpoch(uint32_t epoch, uint64_t at_cycles) {
 Status ProfileDatabase::SealCurrentEpoch(uint64_t at_cycles) {
   uint32_t epoch = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     if (!have_epoch_) return FailedPrecondition("no epoch open to seal");
     epoch = current_epoch_;
   }

@@ -27,11 +27,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/profiledb/profile.h"
+#include "src/support/mutex.h"
 #include "src/support/status.h"
 
 namespace dcpi {
@@ -171,17 +171,21 @@ class ProfileDatabase {
   std::string EpochDir(uint32_t epoch) const;
   std::string SealMarkerPath(uint32_t epoch) const;
   ScanReport ScanAndRecover() const;
-  Status WriteLocked(const ImageProfile& profile, bool merge);
+  Status WriteLocked(const ImageProfile& profile, bool merge) REQUIRES(mu_);
 
   std::string root_;
   DbOpenMode mode_ = DbOpenMode::kReadWrite;
   ScanReport scan_report_;
 
-  // Guards the epoch cursor and serializes writes (see NewEpoch).
-  mutable std::mutex mu_;
-  uint32_t current_epoch_ = 0;
-  uint32_t next_epoch_ = 0;  // first epoch a fresh write lands in
-  bool have_epoch_ = false;
+  // Guards the epoch cursor and serializes writes (see NewEpoch). Nests
+  // inside the daemon's flush lock (the daemon flushes under flush_mu_),
+  // never the other way around.
+  mutable Mutex mu_{LockRank::kProfileDb, "profiledb.epoch"};
+  uint32_t current_epoch_ GUARDED_BY(mu_) = 0;
+  uint32_t next_epoch_ GUARDED_BY(mu_) = 0;  // first epoch a fresh write lands in
+  bool have_epoch_ GUARDED_BY(mu_) = false;
+  // Monotone statistics counter (relaxed adds under mu_, lock-free reads
+  // from bytes_written()); no ordering is implied or needed.
   std::atomic<uint64_t> bytes_written_{0};
 };
 

@@ -24,11 +24,11 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) idle_.Wait(mu_);
     shutdown_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -37,22 +37,23 @@ void ThreadPool::Submit(std::function<void()> task) {
     // The push must happen under mu_: workers decide to sleep while
     // holding mu_, so a push outside it could land between their queue
     // inspection and the block — a lost wakeup. Lock order is always
-    // mu_ then queue.mu.
-    std::lock_guard<std::mutex> lock(mu_);
+    // mu_ then queue.mu (ranks kThreadPool then kThreadPoolQueue).
+    MutexLock lock(&mu_);
     ++pending_;
     size_t slot = next_queue_++ % queues_.size();
-    std::lock_guard<std::mutex> qlock(queues_[slot]->mu);
+    MutexLock qlock(&queues_[slot]->mu);
     queues_[slot]->tasks.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 bool ThreadPool::TryRunOne(int self) {
   std::function<void()> task;
   // Own queue first (newest task: still cache-warm), then steal the oldest
-  // task from a sibling.
+  // task from a sibling. At most one queue lock is held at a time, so all
+  // queues can share one rank.
   {
-    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    MutexLock lock(&queues_[self]->mu);
     if (!queues_[self]->tasks.empty()) {
       task = std::move(queues_[self]->tasks.back());
       queues_[self]->tasks.pop_back();
@@ -62,7 +63,7 @@ bool ThreadPool::TryRunOne(int self) {
     const size_t n = queues_.size();
     for (size_t step = 1; step < n && !task; ++step) {
       WorkerQueue& victim = *queues_[(self + step) % n];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      MutexLock lock(&victim.mu);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -71,6 +72,9 @@ bool ThreadPool::TryRunOne(int self) {
   }
   if (!task) return false;
 
+  // The task runs with no pool lock held, so tasks may freely Submit()
+  // more work or take locks of any rank (the analysis engine's tasks
+  // acquire the profile-database mutex).
   std::exception_ptr error;
   try {
     task();
@@ -78,41 +82,42 @@ bool ThreadPool::TryRunOne(int self) {
     error = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Hand the exception over by move and drop any unclaimed reference
     // before notifying: Wait() may rethrow first_error_ the moment it
     // wakes, and a reference still held here would make the exception
     // object's refcount release race with that reader.
     if (error && !first_error_) first_error_ = std::move(error);
     error = nullptr;
-    if (--pending_ == 0) idle_.notify_all();
+    if (--pending_ == 0) idle_.NotifyAll();
   }
   return true;
+}
+
+bool ThreadPool::HasRunnableTask() {
+  for (const auto& queue : queues_) {
+    MutexLock qlock(&queue->mu);
+    if (!queue->tasks.empty()) return true;
+  }
+  return false;
 }
 
 void ThreadPool::WorkerLoop(int self) {
   for (;;) {
     if (TryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    if (shutdown_) return;
+    MutexLock lock(&mu_);
     // pending_ > 0 with empty queues means tasks are mid-run elsewhere;
     // sleep until a new submission or shutdown.
-    wake_.wait(lock, [this] {
-      if (shutdown_) return true;
-      for (const auto& queue : queues_) {
-        std::lock_guard<std::mutex> qlock(queue->mu);
-        if (!queue->tasks.empty()) return true;
-      }
-      return false;
-    });
+    while (!shutdown_ && !HasRunnableTask()) wake_.Wait(mu_);
+    if (shutdown_) return;
   }
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) idle_.Wait(mu_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);

@@ -15,15 +15,15 @@
 #ifndef SRC_SUPPORT_THREAD_POOL_H_
 #define SRC_SUPPORT_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/support/mutex.h"
 
 namespace dcpi {
 
@@ -62,23 +62,27 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu{LockRank::kThreadPoolQueue, "threadpool.queue"};
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(int self);
   bool TryRunOne(int self);
+  // True if any worker deque holds a task. Must be called under mu_: the
+  // sleep decision in WorkerLoop has to be atomic against Submit's push
+  // (which also happens under mu_), or the wakeup could be lost.
+  bool HasRunnableTask() REQUIRES(mu_);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;                  // guards the counters + cv below
-  std::condition_variable wake_;   // workers wait here for tasks
-  std::condition_variable idle_;   // Wait() waits here for pending_ == 0
-  size_t pending_ = 0;             // submitted but not yet finished
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
-  size_t next_queue_ = 0;          // round-robin submission cursor
+  Mutex mu_{LockRank::kThreadPool, "threadpool.coordinator"};
+  CondVar wake_;   // workers wait here for tasks
+  CondVar idle_;   // Wait() waits here for pending_ == 0
+  size_t pending_ GUARDED_BY(mu_) = 0;  // submitted but not yet finished
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  size_t next_queue_ GUARDED_BY(mu_) = 0;  // round-robin submission cursor
 };
 
 }  // namespace dcpi

@@ -305,6 +305,18 @@ int main(int argc, char** argv) {
 
   // Optional background compaction: fold epochs that every host has sealed
   // into <out>/db/merged while collection continues, then finish the tail.
+  //
+  // Concurrency invariants of the fleet run (no locks needed):
+  //  * Each host thread writes only outcomes[h] and its own db shard
+  //    (host_<h>/); shards are disjoint directories, outcomes are disjoint
+  //    elements, and the main thread reads them only after join(), which
+  //    is a full happens-before edge.
+  //  * The compactor communicates with the host threads purely through
+  //    the filesystem (sealed-epoch markers written via the atomic
+  //    rename+CRC path), never through shared memory.
+  //  * hosts_done is a release store after every join; the compactor's
+  //    acquire load therefore observes all final seal markers before its
+  //    last full compaction pass.
   std::atomic<bool> hosts_done{false};
   std::thread compactor;
   if (compact) {

@@ -1,0 +1,45 @@
+// Seeded thread-safety violation for the negative compile test.
+//
+// This file is NOT part of any build target. scripts/wthread_negative_test.sh
+// compiles it twice: it must compile cleanly WITHOUT -Wthread-safety (so a
+// later failure can only come from the analysis), and it must FAIL to
+// compile with `clang++ -Wthread-safety -Werror=thread-safety` — proving
+// the capability annotations actually gate unguarded accesses, i.e. that
+// the compile-time race detector is live, not just configured.
+
+#include "src/support/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (seeded): writes the guarded field without holding mu_. Clang
+  // diagnoses "writing variable 'value_' requires holding mutex 'mu_'
+  // exclusively".
+  void IncrementUnguarded() { value_ += 1; }
+
+  // Correctly guarded variant, so the file exercises the passing shape of
+  // the same access too.
+  void IncrementGuarded() {
+    dcpi::MutexLock lock(&mu_);
+    value_ += 1;
+  }
+
+  int value() {
+    dcpi::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  dcpi::Mutex mu_{dcpi::LockRank::kLeaf, "negative.counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.IncrementUnguarded();
+  counter.IncrementGuarded();
+  return counter.value() == 2 ? 0 : 1;
+}
