@@ -29,6 +29,7 @@ struct RunSpec {
   // (HashTableConfig::Legacy() + batched_ingest = false).
   DriverConfig driver;
   DaemonConfig daemon;
+  double mem_fraction = 0.0;  // fraction of samples taken as wide records
 };
 
 struct RunOutput {
@@ -49,6 +50,7 @@ inline RunOutput RunProfiled(const Workload& workload, const RunSpec& spec) {
   config.db_root = spec.db_root;
   config.driver = spec.driver;
   config.daemon = spec.daemon;
+  config.mem_fraction = spec.mem_fraction;
   output.system = std::make_unique<System>(config);
   Status status = workload.Instantiate(output.system.get());
   if (!status.ok()) {

@@ -30,14 +30,15 @@
 #   is not installed (same pattern as --lint). --wthread-only runs just
 #   that gate.
 #   --bench-smoke additionally runs bench_analysis_scaling --smoke,
-#   bench_continuous --smoke, bench_fleet_scaling --smoke, and
-#   bench_table4_overhead_components --smoke in each sanitized build, so
-#   the parallel analysis engine, its result cache, the continuous
-#   epoch-roll path, the fleet shard collection + merge-on-read path, and
-#   the Section 5.4 collection hot path (6-way swap-to-front table +
-#   batched daemon ingest vs the 1997 baseline, with its
-#   miss-path/daemon-cost gates) are exercised end-to-end under TSan/ASan
-#   (tiny sizes).
+#   bench_continuous --smoke, bench_fleet_scaling --smoke,
+#   bench_table4_overhead_components --smoke, and bench_mem_sampling
+#   --smoke in each sanitized build, so the parallel analysis engine, its
+#   result cache, the continuous epoch-roll path, the fleet shard
+#   collection + merge-on-read path, the Section 5.4 collection hot path
+#   (6-way swap-to-front table + batched daemon ingest vs the 1997
+#   baseline, with its miss-path/daemon-cost gates), and the wide-record
+#   memory-sampling path (fraction-0 neutrality + false-sharing detection
+#   gates) are exercised end-to-end under TSan/ASan (tiny sizes).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -136,6 +137,8 @@ run_config() {
     (cd "$dir" && ./bench/bench_fleet_scaling --smoke)
     echo "=== bench smoke ($dir): Section 5.4 before/after gates under sanitizers ==="
     (cd "$dir" && ./bench/bench_table4_overhead_components --smoke)
+    echo "=== bench smoke ($dir): wide-record memory sampling under sanitizers ==="
+    (cd "$dir" && ./bench/bench_mem_sampling --smoke)
     echo "=== bench smoke ($dir): collection micro head-to-heads under sanitizers ==="
     (cd "$dir" && ./bench/bench_micro_collection \
         --benchmark_filter='Policy|Ingest' --benchmark_min_time=0.01 \
@@ -146,7 +149,7 @@ run_config() {
 if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet|LockHierarchy|WthreadNegative"
+    TSAN_FILTER="DriverConcurrency|MpDeterminism|PipelineIntegration|DcpiDriver|KernelSched|ThreadPool|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet|LockHierarchy|WthreadNegative|MemorySection"
   fi
   run_config build-tsan "-fsanitize=thread -O1 -g -fno-omit-frame-pointer" "$TSAN_FILTER"
 fi
@@ -154,7 +157,7 @@ fi
 if [[ "$RUN_ASAN" == 1 ]]; then
   ASAN_FILTER=""
   if [[ "$FAST" == 1 ]]; then
-    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet|LockHierarchy|WthreadNegative"
+    ASAN_FILTER="ProfileDbCrash|DeserializeAdversarial|MemorySection|AtomicWrite|Crc32|DbTest|BinaryIo|Engine|Continuous|HashPolicy|DaemonIngest|IngestDb|Fleet|LockHierarchy|WthreadNegative"
   fi
   run_config build-asan "-fsanitize=address,undefined -O1 -g -fno-omit-frame-pointer" "$ASAN_FILTER"
 fi

@@ -18,7 +18,10 @@ namespace {
 // Cache-entry header: magic, format version, then the full key. Bump the
 // version whenever the payload layout changes; old entries then miss.
 constexpr uint32_t kCacheMagic = 0x43415044;  // "DPAC"
-constexpr uint8_t kCacheVersion = 1;
+// v2: profile inputs may carry the version-4 memory axis (the profile-set
+// CRC covers the serialized bytes, but the bump makes the invalidation
+// explicit across the format change).
+constexpr uint8_t kCacheVersion = 2;
 
 void PutF64(ByteWriter* w, double v) {
   uint64_t bits = 0;

@@ -251,6 +251,12 @@ bool Cpu::Step(ExecContext& ctx) {
         dest_cause = StallCause::kDcacheMiss;
         if (monitor_ != nullptr) monitor_->OnEvent(EventType::kDmiss, issue_time);
       }
+      // Runs after this instruction's OnIssue: a monitor that armed a wide
+      // sample at delivery fills in the data address, latency and level.
+      if (monitor_ != nullptr) {
+        monitor_->OnDataAccess(ctx.pid(), pc, vaddr, lr.latency, lr.dcache_miss,
+                               lr.board_miss, dtb_miss);
+      }
       if (inst->op == Opcode::kLdl) {
         regs.WriteInt(inst->ra, static_cast<int64_t>(static_cast<int32_t>(value)));
       } else if (inst->op == Opcode::kLdt) {

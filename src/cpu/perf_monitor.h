@@ -29,6 +29,23 @@ class PerfMonitor {
   // the issue clock: fetch runs ahead).
   virtual void OnEvent(EventType type, uint64_t cycle) = 0;
 
+  // The load at `pc` (process `pid`) read `vaddr` and was satisfied after
+  // `latency_cycles` by the level the miss bits describe. Called after the
+  // same instruction's OnIssue, so a monitor that armed a wide sample at
+  // delivery can fill in the data fields. Default no-op: monitors that do
+  // not implement ProfileMe-style sampling ignore it.
+  virtual void OnDataAccess(uint32_t pid, uint64_t pc, uint64_t vaddr,
+                            uint32_t latency_cycles, bool dcache_miss,
+                            bool board_miss, bool dtb_miss) {
+    (void)pid;
+    (void)pc;
+    (void)vaddr;
+    (void)latency_cycles;
+    (void)dcache_miss;
+    (void)board_miss;
+    (void)dtb_miss;
+  }
+
   // The CPU is in PALcode / uninterruptible code for [start, end); sample
   // deliveries in this window are deferred past `end` (the paper's blind
   // spots, Section 4.1.3).

@@ -18,7 +18,7 @@ Daemon::Daemon(DcpiDriver* driver, ProfileDatabase* database,
   mean_periods_.resize(kNumEventTypes, 0.0);
   if (driver_ != nullptr) {
     driver_->set_overflow_handler(
-        [this](uint32_t cpu_id, const std::vector<SampleRecord>& records) {
+        [this](uint32_t cpu_id, const std::vector<OverflowRecord>& records) {
           ProcessBuffer(cpu_id, records);
         });
   }
@@ -103,20 +103,57 @@ Daemon::ProfileSlot* Daemon::SlotFor(const std::string& image_name, EventType ev
   return it->second.get();
 }
 
-void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records) {
-  (void)cpu_id;
+void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<OverflowRecord>& records) {
   daemon_cycles_.fetch_add(config_.cycles_per_buffer_flush, std::memory_order_relaxed);
   if (config_.batched_ingest) {
-    IngestBatched(records);
+    IngestBatched(cpu_id, records);
   } else {
-    IngestPerSample(records);
+    IngestPerSample(cpu_id, records);
   }
 }
 
-void Daemon::IngestPerSample(const std::vector<SampleRecord>& records) {
-  ReaderMutexLock maps_lock(&maps_mu_);
+void Daemon::ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records) {
+  std::vector<OverflowRecord> wrapped;
+  wrapped.reserve(records.size());
   for (const SampleRecord& record : records) {
+    wrapped.push_back(OverflowRecord::Narrow(record));
+  }
+  ProcessBuffer(cpu_id, wrapped);
+}
+
+void Daemon::IngestPerSample(uint32_t cpu_id, const std::vector<OverflowRecord>& records) {
+  ReaderMutexLock maps_lock(&maps_mu_);
+  for (const OverflowRecord& overflow : records) {
     records_processed_.fetch_add(1, std::memory_order_relaxed);
+    if (overflow.kind == OverflowRecord::Kind::kWide) {
+      const WideSampleRecord& wide = overflow.wide;
+      daemon_cycles_.fetch_add(config_.cycles_per_wide_record,
+                               std::memory_order_relaxed);
+      wide_records_.fetch_add(1, std::memory_order_relaxed);
+      samples_since_roll_.fetch_add(1, std::memory_order_relaxed);
+      const Mapping* mapping = ResolvePc(wide.pid, wide.pc);
+      ProfileSlot* slot;
+      uint64_t offset;
+      if (mapping == nullptr) {
+        samples_unknown_.fetch_add(1, std::memory_order_relaxed);
+        slot = SlotFor(kUnknownImage, wide.event);
+        offset = 0;
+      } else {
+        samples_attributed_.fetch_add(1, std::memory_order_relaxed);
+        slot = SlotFor(mapping->image->name(), wide.event);
+        offset = wide.pc - mapping->start;
+      }
+      MutexLock lock(&slot->mu);
+      // A wide record carries exactly one sample: the PC axis stays
+      // unbiased while the record also feeds the data-line axis.
+      slot->profile.AddSamples(offset, 1);
+      if (wide.has_data) {
+        slot->profile.mutable_mem()->AddAccess(wide.data_va, wide.level,
+                                               wide.latency, wide.tlb_miss, cpu_id);
+      }
+      continue;
+    }
+    const SampleRecord& record = overflow.narrow;
     daemon_cycles_.fetch_add(config_.cycles_per_record, std::memory_order_relaxed);
     if (record.count == 0) continue;  // carries no samples
     samples_since_roll_.fetch_add(record.count, std::memory_order_relaxed);
@@ -135,53 +172,83 @@ void Daemon::IngestPerSample(const std::vector<SampleRecord>& records) {
   }
 }
 
-void Daemon::IngestBatched(const std::vector<SampleRecord>& records) {
+void Daemon::IngestBatched(uint32_t cpu_id, const std::vector<OverflowRecord>& records) {
   // Pass 1 (load-map lookups only): resolve every record to its slot and
   // image-relative offset, grouping consecutive work per (image, event).
   // The group list is tiny (one entry per distinct image x event in the
-  // buffer), so a linear scan beats any hash here.
+  // buffer), so a linear scan beats any hash here. Wide records join the
+  // same groups: their single PC sample rides the staging vector and their
+  // memory payload is applied under the same one-per-group lock hold.
   struct Group {
     ProfileSlot* slot;
     const ExecutableImage* image;  // group identity; null = unknown image
     EventType event;
     std::vector<std::pair<uint64_t, uint64_t>> entries;  // (offset, count)
+    std::vector<const WideSampleRecord*> wide;  // memory payloads to apply
   };
   std::vector<Group> groups;
   uint64_t attributed = 0;
   uint64_t unknown = 0;
+  uint64_t narrow_count = 0;
+  uint64_t wide_count = 0;
   {
     ReaderMutexLock maps_lock(&maps_mu_);
-    for (const SampleRecord& record : records) {
-      if (record.count == 0) continue;  // carries no samples
-      const Mapping* mapping = ResolvePc(record.key.pid, record.key.pc);
-      const ExecutableImage* image = mapping == nullptr ? nullptr : mapping->image.get();
-      uint64_t offset = mapping == nullptr ? 0 : record.key.pc - mapping->start;
-      if (mapping == nullptr) {
-        unknown += record.count;
+    for (const OverflowRecord& overflow : records) {
+      const bool is_wide = overflow.kind == OverflowRecord::Kind::kWide;
+      uint32_t pid;
+      uint64_t pc;
+      EventType event;
+      uint64_t count;
+      if (is_wide) {
+        pid = overflow.wide.pid;
+        pc = overflow.wide.pc;
+        event = overflow.wide.event;
+        count = 1;  // a wide record is one sample
+        ++wide_count;
       } else {
-        attributed += record.count;
+        pid = overflow.narrow.key.pid;
+        pc = overflow.narrow.key.pc;
+        event = overflow.narrow.key.event;
+        count = overflow.narrow.count;
+        ++narrow_count;
+        if (count == 0) continue;  // carries no samples
+      }
+      const Mapping* mapping = ResolvePc(pid, pc);
+      const ExecutableImage* image = mapping == nullptr ? nullptr : mapping->image.get();
+      uint64_t offset = mapping == nullptr ? 0 : pc - mapping->start;
+      if (mapping == nullptr) {
+        unknown += count;
+      } else {
+        attributed += count;
       }
       Group* group = nullptr;
       for (Group& candidate : groups) {
-        if (candidate.image == image && candidate.event == record.key.event) {
+        if (candidate.image == image && candidate.event == event) {
           group = &candidate;
           break;
         }
       }
       if (group == nullptr) {
         groups.push_back({SlotFor(image == nullptr ? kUnknownImage : image->name(),
-                                  record.key.event),
+                                  event),
                           image,
-                          record.key.event,
+                          event,
+                          {},
                           {}});
         group = &groups.back();
       }
-      group->entries.emplace_back(offset, record.count);
+      group->entries.emplace_back(offset, count);
+      if (is_wide && overflow.wide.has_data) {
+        group->wide.push_back(&overflow.wide);
+      }
     }
   }
   // Pass 2: one merge-lock acquisition per group; records land in the
   // slot's dense staging vector (offset/4-indexed, like ExtractDense's
   // output) with a plain array add instead of a profile-map insertion.
+  // Wide memory payloads go straight to the data-line map here — staging
+  // them densely is impossible (data VAs are sparse), but they still pay
+  // only the group's single lock acquisition.
   for (Group& group : groups) {
     MutexLock lock(&group.slot->mu);
     for (const auto& [offset, count] : group.entries) {
@@ -198,12 +265,19 @@ void Daemon::IngestBatched(const std::vector<SampleRecord>& records) {
       group.slot->staged[index] += count;
       group.slot->staged_samples += count;
     }
+    for (const WideSampleRecord* wide : group.wide) {
+      group.slot->profile.mutable_mem()->AddAccess(wide->data_va, wide->level,
+                                                   wide->latency, wide->tlb_miss,
+                                                   cpu_id);
+    }
   }
   records_processed_.fetch_add(records.size(), std::memory_order_relaxed);
-  daemon_cycles_.fetch_add(records.size() * config_.cycles_per_record_batched +
+  daemon_cycles_.fetch_add(narrow_count * config_.cycles_per_record_batched +
+                               wide_count * config_.cycles_per_wide_record +
                                groups.size() * config_.cycles_per_group,
                            std::memory_order_relaxed);
   ingest_groups_.fetch_add(groups.size(), std::memory_order_relaxed);
+  wide_records_.fetch_add(wide_count, std::memory_order_relaxed);
   samples_attributed_.fetch_add(attributed, std::memory_order_relaxed);
   samples_unknown_.fetch_add(unknown, std::memory_order_relaxed);
   samples_since_roll_.fetch_add(attributed + unknown, std::memory_order_relaxed);
@@ -269,7 +343,9 @@ Status Daemon::FlushProfilesLocked() {
     {
       MutexLock lock(&slot->mu);
       DrainStagingLocked(slot);
-      if (slot->profile.distinct_offsets() == 0) continue;
+      if (slot->profile.distinct_offsets() == 0 && slot->profile.mem().empty()) {
+        continue;
+      }
       snapshot = slot->profile;
     }
     Status written = database_->ReplaceProfile(snapshot);
@@ -457,6 +533,7 @@ DaemonStats Daemon::stats() const {
   snapshot.epoch_rolls = epoch_rolls_.load(std::memory_order_relaxed);
   snapshot.timed_flushes = timed_flushes_.load(std::memory_order_relaxed);
   snapshot.ingest_groups = ingest_groups_.load(std::memory_order_relaxed);
+  snapshot.wide_records = wide_records_.load(std::memory_order_relaxed);
   snapshot.staging_drains = staging_drains_.load(std::memory_order_relaxed);
   if (database_ != nullptr) {
     snapshot.db_bytes_written = database_->bytes_written();

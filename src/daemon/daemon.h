@@ -85,6 +85,10 @@ struct DaemonConfig {
   // Batched path, per (image, event) group per buffer: profile-map lookup,
   // merge-lock round trip, staging bookkeeping.
   uint64_t cycles_per_group = 1100;
+  // Per wide (memory) record: PID + image lookup plus the data-line map
+  // update — heavier than a narrow staged add, and each wide record
+  // carries exactly one sample.
+  uint64_t cycles_per_wide_record = 500;
   // Extra cycles per buffer flush (syscall + copy).
   uint64_t cycles_per_buffer_flush = 6000;
 };
@@ -114,6 +118,7 @@ struct DaemonStats {
   uint64_t ingest_groups = 0;       // (image, event) groups formed (batched)
   uint64_t staging_drains = 0;      // staging-vector merges into profiles
   uint64_t db_bytes_written = 0;    // serialized bytes flushed to the db
+  uint64_t wide_records = 0;        // ProfileMe-style memory records ingested
 };
 
 class Daemon {
@@ -135,6 +140,10 @@ class Daemon {
   void ProcessLoaderEvents(std::vector<LoaderEvent> events);
 
   // Handles one drained buffer (also used directly by tests). Thread-safe.
+  // Narrow records are hash-table aggregates; wide records are individual
+  // ProfileMe-style memory samples that also feed the data-line axis.
+  void ProcessBuffer(uint32_t cpu_id, const std::vector<OverflowRecord>& records);
+  // Convenience for narrow-only callers (tests, benches).
   void ProcessBuffer(uint32_t cpu_id, const std::vector<SampleRecord>& records);
 
   // Concurrent drain of the driver's published overflow buffers. Start
@@ -241,9 +250,10 @@ class Daemon {
   // Const so the read accessors can drain before exposing a profile.
   void DrainStagingLocked(ProfileSlot* slot) const REQUIRES(slot->mu);
   // The two ingest paths (see DaemonConfig::batched_ingest). Both hold the
-  // load-map shared lock across the buffer.
-  void IngestBatched(const std::vector<SampleRecord>& records);
-  void IngestPerSample(const std::vector<SampleRecord>& records);
+  // load-map shared lock across the buffer. cpu_id feeds the data-line
+  // cpu_mask (the false-sharing signal).
+  void IngestBatched(uint32_t cpu_id, const std::vector<OverflowRecord>& records);
+  void IngestPerSample(uint32_t cpu_id, const std::vector<OverflowRecord>& records);
   // Writes every non-empty profile with ReplaceProfile (+1 retry each).
   Status FlushProfilesLocked() REQUIRES(flush_mu_);
   // Erases dead load-map entries (and emptied processes).
@@ -297,6 +307,7 @@ class Daemon {
   std::atomic<uint64_t> epoch_rolls_{0};
   std::atomic<uint64_t> timed_flushes_{0};
   std::atomic<uint64_t> ingest_groups_{0};
+  std::atomic<uint64_t> wide_records_{0};
   mutable std::atomic<uint64_t> staging_drains_{0};  // bumped from read paths
 
   std::thread drain_thread_;

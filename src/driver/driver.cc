@@ -47,15 +47,16 @@ void DcpiDriver::PublishActive(uint32_t cpu_id, PerCpu* cpu) {
   cpu->active_buffer ^= 1;
 }
 
-void DcpiDriver::AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const SampleRecord& record) {
+void DcpiDriver::AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const OverflowRecord& record) {
   OverflowBuffer& active = cpu->buffers[cpu->active_buffer];
   active.records[active.count++] = record;
   if (active.count >= config_.overflow_entries) PublishActive(cpu_id, cpu);
 }
 
 void DcpiDriver::ServiceFlush(uint32_t cpu_id, PerCpu* cpu) {
-  cpu->table->Flush(
-      [&](const SampleRecord& record) { AppendOverflow(cpu_id, cpu, record); });
+  cpu->table->Flush([&](const SampleRecord& record) {
+    AppendOverflow(cpu_id, cpu, OverflowRecord::Narrow(record));
+  });
   OverflowBuffer& active = cpu->buffers[cpu->active_buffer];
   if (active.count > 0) PublishActive(cpu_id, cpu);
 }
@@ -89,7 +90,32 @@ uint64_t DcpiDriver::DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
     cost += config_.miss_body_cycles;
     cpu.stats.miss_path_cycles += config_.intr_setup_cycles + config_.miss_body_cycles;
   }
-  if (result.evicted) AppendOverflow(cpu_id, &cpu, result.victim);
+  if (result.evicted) {
+    AppendOverflow(cpu_id, &cpu, OverflowRecord::Narrow(result.victim));
+  }
+  ++cpu.stats.interrupts;
+  cpu.stats.handler_cycles += cost;
+  return cost;
+}
+
+uint64_t DcpiDriver::DeliverWideSample(uint32_t cpu_id,
+                                       const WideSampleRecord& record) {
+  PerCpu& cpu = per_cpu_[cpu_id];
+  uint64_t cost = 0;
+  if (cpu.flush_requested.load(std::memory_order_relaxed)) {
+    cpu.flush_requested.store(false, std::memory_order_relaxed);
+    ServiceFlush(cpu_id, &cpu);
+    ++cpu.stats.flush_requests_serviced;
+    cost += config_.ipi_flush_cycles;
+    cpu.stats.ipi_flush_cycles += config_.ipi_flush_cycles;
+  }
+  // The bypass path: no hash probe, the record goes straight to the
+  // overflow stream (it cannot live in the packed 16-byte line).
+  AppendOverflow(cpu_id, &cpu, OverflowRecord::Wide(record));
+  cost += config_.intr_setup_cycles + config_.wide_body_cycles;
+  cpu.stats.wide_path_cycles +=
+      config_.intr_setup_cycles + config_.wide_body_cycles;
+  ++cpu.stats.wide_records;
   ++cpu.stats.interrupts;
   cpu.stats.handler_cycles += cost;
   return cost;
@@ -118,8 +144,8 @@ size_t DcpiDriver::DrainCpuPublished(uint32_t cpu_id) {
     }
     // The daemon's copy-out: snapshot the records, hand the buffer back to
     // the producer, then process the copy.
-    std::vector<SampleRecord> drained(buffer.records.begin(),
-                                      buffer.records.begin() + buffer.count);
+    std::vector<OverflowRecord> drained(buffer.records.begin(),
+                                        buffer.records.begin() + buffer.count);
     buffer.count = 0;
     buffer.state.store(kFree, std::memory_order_release);
     if (overflow_handler_) overflow_handler_(cpu_id, drained);
@@ -140,8 +166,10 @@ void DcpiDriver::FlushAll() {
   for (uint32_t cpu_id = 0; cpu_id < per_cpu_.size(); ++cpu_id) {
     DrainCpuPublished(cpu_id);
     PerCpu& cpu = per_cpu_[cpu_id];
-    std::vector<SampleRecord> drained;
-    cpu.table->Flush([&](const SampleRecord& record) { drained.push_back(record); });
+    std::vector<OverflowRecord> drained;
+    cpu.table->Flush([&](const SampleRecord& record) {
+      drained.push_back(OverflowRecord::Narrow(record));
+    });
     OverflowBuffer& active = cpu.buffers[cpu.active_buffer];
     for (size_t i = 0; i < active.count; ++i) drained.push_back(active.records[i]);
     active.count = 0;
@@ -158,7 +186,9 @@ DriverCpuStats DcpiDriver::TotalStats() const {
     total.handler_cycles += cpu.stats.handler_cycles;
     total.hit_path_cycles += cpu.stats.hit_path_cycles;
     total.miss_path_cycles += cpu.stats.miss_path_cycles;
+    total.wide_path_cycles += cpu.stats.wide_path_cycles;
     total.ipi_flush_cycles += cpu.stats.ipi_flush_cycles;
+    total.wide_records += cpu.stats.wide_records;
     total.overflow_buffer_flushes += cpu.stats.overflow_buffer_flushes;
     total.flush_requests_serviced += cpu.stats.flush_requests_serviced;
     total.publish_waits += cpu.stats.publish_waits;

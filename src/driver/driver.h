@@ -56,6 +56,10 @@ struct DriverConfig {
   uint64_t intr_setup_cycles = 214;
   uint64_t hit_body_cycles = 216;    // total hit cost ~430 (Table 4 ballpark)
   uint64_t miss_body_cycles = 486;   // total miss cost ~700
+  // Body cost of a wide (ProfileMe-style) sample: no hash probe, but the
+  // handler reads out the wide register set and writes a 2x-size record to
+  // the overflow buffer. Between the hit and miss body costs.
+  uint64_t wide_body_cycles = 260;
   // Extra cycles charged to the interrupted CPU when the handler services a
   // daemon-requested (IPI-modeled) flush.
   uint64_t ipi_flush_cycles = 330;
@@ -71,11 +75,13 @@ struct DriverCpuStats {
   uint64_t hash_misses = 0;
   uint64_t handler_cycles = 0;
   // handler_cycles split by path, so Table 4 can attribute exactly where a
-  // policy change moves cycles: hit_path + miss_path + ipi_flush ==
-  // handler_cycles.
+  // policy change moves cycles: hit_path + miss_path + wide_path +
+  // ipi_flush == handler_cycles.
   uint64_t hit_path_cycles = 0;   // setup + body of hit-path interrupts
   uint64_t miss_path_cycles = 0;  // setup + body of miss-path interrupts
+  uint64_t wide_path_cycles = 0;  // setup + body of wide-sample interrupts
   uint64_t ipi_flush_cycles = 0;  // daemon-requested flush service time
+  uint64_t wide_records = 0;      // wide samples that took the bypass path
   uint64_t overflow_buffer_flushes = 0;
   uint64_t flush_requests_serviced = 0;  // IPI-modeled flushes handled
   uint64_t publish_waits = 0;            // publishes that waited on the daemon
@@ -96,6 +102,30 @@ struct DriverCpuStats {
 // never diverge from the shipped cost accounting.
 double ModelledCostPerSample(const DriverConfig& config, const HashTableStats& stats);
 
+// One record in the overflow stream: either a narrow aggregated
+// (key, count) pair the hash table evicted or flushed, or a ProfileMe-style
+// wide sample that bypassed the table (wide records cannot live in the
+// packed 16-byte hash line, so they travel to the daemon raw).
+struct OverflowRecord {
+  enum class Kind : uint8_t { kNarrow = 0, kWide = 1 };
+  Kind kind = Kind::kNarrow;
+  SampleRecord narrow;    // valid when kind == kNarrow
+  WideSampleRecord wide;  // valid when kind == kWide
+
+  static OverflowRecord Narrow(const SampleRecord& record) {
+    OverflowRecord r;
+    r.kind = Kind::kNarrow;
+    r.narrow = record;
+    return r;
+  }
+  static OverflowRecord Wide(const WideSampleRecord& record) {
+    OverflowRecord r;
+    r.kind = Kind::kWide;
+    r.wide = record;
+    return r;
+  }
+};
+
 // How published overflow buffers reach the overflow handler.
 enum class DrainMode {
   kInline,      // producer consumes its own buffers (single-threaded sim)
@@ -109,7 +139,7 @@ class DcpiDriver : public SampleSink {
   // daemon that has fallen behind. In kConcurrent mode it is invoked from
   // the drainer thread and must be thread-safe.
   using OverflowHandler =
-      std::function<void(uint32_t cpu_id, const std::vector<SampleRecord>&)>;
+      std::function<void(uint32_t cpu_id, const std::vector<OverflowRecord>&)>;
 
   DcpiDriver(uint32_t num_cpus, const DriverConfig& config);
 
@@ -127,6 +157,12 @@ class DcpiDriver : public SampleSink {
   // `cpu_id`.
   uint64_t DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
                          EventType event) override;
+
+  // SampleSink: the ProfileMe bypass path. The wide record skips the hash
+  // table entirely and is appended to the overflow stream. Same threading
+  // contract as DeliverSample.
+  uint64_t DeliverWideSample(uint32_t cpu_id,
+                             const WideSampleRecord& record) override;
 
   // Daemon side, any thread: flags every CPU for a flush (the paper's
   // interprocessor interrupt). Each CPU's handler services the flag at its
@@ -189,8 +225,8 @@ class DcpiDriver : public SampleSink {
   //  * A buffer is claimed by at most one drainer at a time: the CAS from
   //    kPublished can succeed on exactly one thread.
   struct OverflowBuffer {
-    std::vector<SampleRecord> records;  // sized to capacity up front
-    size_t count = 0;                   // written by the current owner only
+    std::vector<OverflowRecord> records;  // sized to capacity up front
+    size_t count = 0;                     // written by the current owner only
     std::atomic<uint8_t> state{kFree};
   };
 
@@ -214,7 +250,7 @@ class DcpiDriver : public SampleSink {
     std::vector<SampleKey> trace;
   };
 
-  void AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const SampleRecord& record);
+  void AppendOverflow(uint32_t cpu_id, PerCpu* cpu, const OverflowRecord& record);
   // Publishes the active buffer and claims the spare as the new active one.
   void PublishActive(uint32_t cpu_id, PerCpu* cpu);
   // Drains one CPU's published buffers. Returns buffers consumed.

@@ -48,6 +48,7 @@ SampleHashTable::RecordResult SampleHashTable::Record(const SampleKey& key) {
         ++stats_.saturation_spills;
         result.evicted = true;
         result.victim = Unpack(base[w]);
+        stats_.spilled_samples += result.victim.count;
         Pack(key, 1, &base[w]);
         return result;
       }
@@ -82,6 +83,7 @@ SampleHashTable::RecordResult SampleHashTable::Record(const SampleKey& key) {
     victim = victim_counter_[bucket]++ % config_.associativity;
   }
   result.victim = Unpack(base[victim]);
+  stats_.spilled_samples += result.victim.count;
   Pack(key, 1, &base[victim]);
   if (config_.replacement == Replacement::kSwapToFront && victim != 0) {
     std::swap(base[0], base[victim]);

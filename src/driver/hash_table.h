@@ -92,6 +92,11 @@ struct HashTableStats {
   uint64_t front_hits = 0;         // hits found at the head of the line
   uint64_t ways_probed = 0;        // entries examined across all lookups
   uint64_t swaps = 0;              // swap-to-front moves performed
+  // Samples (not entries) that left the table through the overflow path:
+  // the aggregate counts carried by eviction victims plus saturation
+  // spills. Conservation: lookups == spilled_samples + the counts still
+  // live in the table, so spilled and flushed totals always reconcile.
+  uint64_t spilled_samples = 0;
 
   double MissRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(lookups);
@@ -112,6 +117,7 @@ struct HashTableStats {
     front_hits += other.front_hits;
     ways_probed += other.ways_probed;
     swaps += other.swaps;
+    spilled_samples += other.spilled_samples;
   }
 };
 

@@ -36,7 +36,12 @@ PerfCountersConfig PerfCountersConfig::WithPeriodScale(double factor) const {
 
 PerfCounters::PerfCounters(uint32_t cpu_id, const PerfCountersConfig& config,
                            SampleSink* sink)
-    : cpu_id_(cpu_id), config_(config), sink_(sink), rng_(config.rng_seed + cpu_id * 7919) {
+    : cpu_id_(cpu_id),
+      config_(config),
+      sink_(sink),
+      rng_(config.rng_seed + cpu_id * 7919),
+      wide_rng_((static_cast<uint64_t>(config.rng_seed) << 32) ^
+                (cpu_id * 0x9e3779b9ull) ^ 0x57494445ull) {
   for (const CounterSpec& spec : config_.counters) {
     assert(!spec.events.empty());
     if (spec.events.size() == 1 && spec.events[0] == EventType::kCycles) {
@@ -97,6 +102,21 @@ uint64_t PerfCounters::OnIssue(uint32_t pid, uint64_t pc, uint64_t t_prev,
                                uint64_t t_issue) {
   (void)t_prev;
   uint64_t t_adj = t_issue;
+  // Resolve a pending wide sample: its data fields (if any) were filled by
+  // OnDataAccess during the sampled instruction's execute stage, so by the
+  // next issue event the record is complete and is handed to the sink. The
+  // handler cost lands here — ProfileMe reads the wide register set out on
+  // the interrupt's return path.
+  if (wide_armed_) {
+    wide_armed_ = false;
+    uint64_t cost =
+        sink_ != nullptr ? sink_->DeliverWideSample(cpu_id_, wide_record_) : 0;
+    ++stats_.samples[static_cast<int>(wide_record_.event)];
+    ++stats_.wide_samples;
+    stats_.handler_cycles += cost;
+    stats_.sink_cycles += cost;
+    t_adj += cost;
+  }
   // Complete a pending double sample: this instruction is the next head
   // after the sampled one, i.e. the second PC of the pair.
   if (edge_armed_) {
@@ -150,6 +170,21 @@ uint64_t PerfCounters::OnIssue(uint32_t pid, uint64_t pc, uint64_t t_prev,
       next_cycles_overflow_ +=
           rng_.UniformInRange(cycles_period_lo_, cycles_period_hi_);
     }
+    // A fraction of deliveries become wide records: arm one for this pc
+    // instead of recording a narrow sample. The stats and the handler cost
+    // are charged at resolve time (the start of the next OnIssue). The
+    // chooser is only consulted when the feature is on, so mem_fraction 0
+    // leaves every downstream byte untouched.
+    if (config_.mem_fraction > 0 &&
+        wide_rng_.NextDouble() < config_.mem_fraction && !wide_armed_) {
+      wide_armed_ = true;
+      wide_record_ = WideSampleRecord{};
+      wide_record_.pid = pid;
+      wide_record_.pc = pc;
+      wide_record_.event = candidate_event;
+      blind_until_ = delivery;
+      continue;
+    }
     uint64_t cost =
         sink_ != nullptr ? sink_->DeliverSample(cpu_id_, pid, pc, candidate_event) : 0;
     ++stats_.samples[static_cast<int>(candidate_event)];
@@ -164,6 +199,23 @@ uint64_t PerfCounters::OnIssue(uint32_t pid, uint64_t pc, uint64_t t_prev,
     }
   }
   return t_adj;
+}
+
+void PerfCounters::OnDataAccess(uint32_t pid, uint64_t pc, uint64_t vaddr,
+                                uint32_t latency_cycles, bool dcache_miss,
+                                bool board_miss, bool dtb_miss) {
+  // Only the armed pc's own load fills the record: samples are attributed
+  // to issue-group leaders, so a wide sample carries data exactly when the
+  // sampled instruction itself is a load.
+  if (!wide_armed_ || wide_record_.has_data) return;
+  if (pid != wide_record_.pid || pc != wide_record_.pc) return;
+  wide_record_.has_data = true;
+  wide_record_.data_va = vaddr;
+  wide_record_.latency = latency_cycles;
+  wide_record_.level = board_miss      ? MemLevel::kDram
+                       : dcache_miss   ? MemLevel::kBoard
+                                       : MemLevel::kL1;
+  wide_record_.tlb_miss = dtb_miss;
 }
 
 bool PerfCounters::Monitors(EventType type) const {

@@ -54,6 +54,13 @@ struct PerfCountersConfig {
   bool double_sampling = false;
   uint64_t double_sample_cost = 120;  // extra handler cycles per pair
 
+  // ProfileMe-style memory sampling: this fraction of delivered samples
+  // become wide records (src/perfctr/wide_sample.h) that bypass the
+  // driver's hash table. The chooser is a dedicated RNG, never the Carta
+  // period randomizer, so 0.0 draws nothing and the sample stream — and
+  // every downstream byte — is identical to a build without the feature.
+  double mem_fraction = 0.0;
+
   // The paper's three measured configurations.
   static PerfCountersConfig Cycles();    // CYCLES only
   static PerfCountersConfig Default();   // CYCLES + IMISS
@@ -73,6 +80,8 @@ struct PerfCountersStats {
   // sampling extension's second interrupt. sink + double_sample == total.
   uint64_t sink_cycles = 0;
   uint64_t double_sample_cycles = 0;
+  // Of samples[], how many were delivered as wide records.
+  uint64_t wide_samples = 0;
 };
 
 class PerfCounters : public PerfMonitor {
@@ -83,6 +92,9 @@ class PerfCounters : public PerfMonitor {
   uint64_t OnIssue(uint32_t pid, uint64_t pc, uint64_t t_prev, uint64_t t_issue) override;
   void OnEvent(EventType type, uint64_t cycle) override;
   void OnPalWindow(uint64_t start, uint64_t end) override;
+  void OnDataAccess(uint32_t pid, uint64_t pc, uint64_t vaddr,
+                    uint32_t latency_cycles, bool dcache_miss, bool board_miss,
+                    bool dtb_miss) override;
 
   // Fraction of time the given event was being counted (1.0 unless the
   // event sits in a multiplexed counter). Tools divide sample counts by
@@ -145,6 +157,14 @@ class PerfCounters : public PerfMonitor {
   uint32_t edge_pid_ = 0;
   uint64_t edge_from_pc_ = 0;
   EdgeSampleMap edge_samples_;
+
+  // Wide-sample state: armed at delivery (instead of a narrow sample),
+  // data fields filled by OnDataAccess if the sampled instruction is a
+  // load, resolved to the sink at the next issue event. The chooser RNG is
+  // dedicated so mem_fraction == 0 consumes no draws from any stream.
+  SplitMix64 wide_rng_;
+  bool wide_armed_ = false;
+  WideSampleRecord wide_record_;
 };
 
 }  // namespace dcpi

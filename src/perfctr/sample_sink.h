@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "src/cpu/event.h"
+#include "src/perfctr/wide_sample.h"
 
 namespace dcpi {
 
@@ -19,6 +20,16 @@ class SampleSink {
   // how the paper's 1-3% overhead arises).
   virtual uint64_t DeliverSample(uint32_t cpu_id, uint32_t pid, uint64_t pc,
                                  EventType event) = 0;
+
+  // Handles one ProfileMe-style wide sample. Same cost contract as
+  // DeliverSample. Default: drop it for free, so sinks that predate wide
+  // sampling (tests, ablation harnesses) keep working unchanged.
+  virtual uint64_t DeliverWideSample(uint32_t cpu_id,
+                                     const WideSampleRecord& record) {
+    (void)cpu_id;
+    (void)record;
+    return 0;
+  }
 };
 
 }  // namespace dcpi

@@ -19,6 +19,7 @@ constexpr uint32_t kMagic = 0x44435049;  // "DCPI"
 constexpr uint8_t kVersionFixedWidth = 1;
 constexpr uint8_t kVersionVarint = 2;
 constexpr uint8_t kVersionChecksummed = 3;  // varint body + CRC32 trailer
+constexpr uint8_t kVersionMemory = 4;  // v3 + data-line memory section, CRC32 trailer
 
 constexpr char kSealMarker[] = ".sealed";
 
@@ -59,6 +60,77 @@ void AppendVarintProfile(const ImageProfile& profile, uint8_t version,
   }
 }
 
+// Version-4 memory section, appended after the PC-axis records. Line VAs
+// are delta-coded in 64-byte line units; the latency histogram is sparse
+// (a 16-bit bucket mask, then one varint per set bucket).
+void AppendMemorySection(const MemoryProfile& mem, ByteWriter* writer) {
+  writer->PutVarint(mem.num_lines());
+  uint64_t prev_line = 0;
+  for (const auto& [line_va, counters] : mem.lines()) {
+    writer->PutVarint((line_va - prev_line) / kMemLineBytes);
+    prev_line = line_va;
+    for (int i = 0; i < kNumMemLevels; ++i) {
+      writer->PutVarint(counters.level_counts[i]);
+    }
+    writer->PutVarint(counters.tlb_misses);
+    writer->PutVarint(counters.latency_sum);
+    uint64_t bucket_mask = 0;
+    for (int i = 0; i < kMemLatencyBuckets; ++i) {
+      if (counters.latency_hist[i] != 0) bucket_mask |= 1ull << i;
+    }
+    writer->PutVarint(bucket_mask);
+    for (int i = 0; i < kMemLatencyBuckets; ++i) {
+      if (counters.latency_hist[i] != 0) writer->PutVarint(counters.latency_hist[i]);
+    }
+    writer->PutVarint(counters.cpu_mask);
+    writer->PutVarint(counters.offset_mask);
+  }
+}
+
+Status ReadMemorySection(ByteReader* reader, size_t payload_size,
+                         MemoryProfile* mem) {
+  uint64_t num_lines = 0;
+  DCPI_RETURN_IF_ERROR(reader->GetVarint(&num_lines));
+  // A line record is at least 10 varint bytes (delta, 4 levels, tlb,
+  // latency sum, bucket mask, cpu mask, offset mask): an inflated line
+  // count in a corrupt file cannot pass this bound.
+  if (num_lines > (payload_size - reader->position()) / 10) {
+    return IoError("memory line count exceeds file size");
+  }
+  uint64_t line_va = 0;
+  for (uint64_t i = 0; i < num_lines; ++i) {
+    uint64_t delta = 0;
+    DCPI_RETURN_IF_ERROR(reader->GetVarint(&delta));
+    line_va += delta * kMemLineBytes;
+    MemLineCounters counters;
+    for (int level = 0; level < kNumMemLevels; ++level) {
+      DCPI_RETURN_IF_ERROR(reader->GetVarint(&counters.level_counts[level]));
+    }
+    DCPI_RETURN_IF_ERROR(reader->GetVarint(&counters.tlb_misses));
+    DCPI_RETURN_IF_ERROR(reader->GetVarint(&counters.latency_sum));
+    uint64_t bucket_mask = 0;
+    DCPI_RETURN_IF_ERROR(reader->GetVarint(&bucket_mask));
+    if (bucket_mask >> kMemLatencyBuckets != 0) {
+      return IoError("bad latency bucket mask");
+    }
+    for (int bucket = 0; bucket < kMemLatencyBuckets; ++bucket) {
+      if ((bucket_mask >> bucket & 1) != 0) {
+        DCPI_RETURN_IF_ERROR(reader->GetVarint(&counters.latency_hist[bucket]));
+      }
+    }
+    uint64_t cpu_mask = 0, offset_mask = 0;
+    DCPI_RETURN_IF_ERROR(reader->GetVarint(&cpu_mask));
+    DCPI_RETURN_IF_ERROR(reader->GetVarint(&offset_mask));
+    if (cpu_mask >> 32 != 0 || offset_mask >> 8 != 0) {
+      return IoError("bad memory line mask");
+    }
+    counters.cpu_mask = static_cast<uint32_t>(cpu_mask);
+    counters.offset_mask = static_cast<uint8_t>(offset_mask);
+    mem->MergeLine(line_va, counters);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 void ImageProfile::Merge(const ImageProfile& other) {
@@ -82,6 +154,7 @@ void ImageProfile::Merge(const ImageProfile& other) {
     }
   }
   for (const auto& [offset, count] : other.counts_) counts_[offset] += count;
+  mem_.Merge(other.mem_);
 }
 
 uint64_t ImageProfile::total_samples() const {
@@ -92,7 +165,14 @@ uint64_t ImageProfile::total_samples() const {
 
 std::vector<uint8_t> SerializeProfile(const ImageProfile& profile) {
   ByteWriter writer;
-  AppendVarintProfile(profile, kVersionChecksummed, &writer);
+  // Profiles with no memory axis stay byte-exact version 3: running with
+  // memory sampling off produces databases identical to pre-v4 builds.
+  if (profile.mem().empty()) {
+    AppendVarintProfile(profile, kVersionChecksummed, &writer);
+  } else {
+    AppendVarintProfile(profile, kVersionMemory, &writer);
+    AppendMemorySection(profile.mem(), &writer);
+  }
   writer.PutU32(Crc32(writer.bytes()));
   return writer.bytes();
 }
@@ -127,7 +207,7 @@ Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
   uint8_t version = bytes[4];
 
   size_t payload_size = bytes.size();
-  if (version == kVersionChecksummed) {
+  if (version >= kVersionChecksummed) {
     if (bytes.size() < 5 + 4) return IoError("truncated profile");
     payload_size = bytes.size() - 4;
     uint32_t stored = 0;
@@ -146,7 +226,7 @@ Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
   uint8_t version_byte = 0;
   DCPI_RETURN_IF_ERROR(reader.GetU8(&version_byte));
   if (version_byte != kVersionFixedWidth && version_byte != kVersionVarint &&
-      version_byte != kVersionChecksummed) {
+      version_byte != kVersionChecksummed && version_byte != kVersionMemory) {
     return IoError("unsupported profile version");
   }
   std::string image_name;
@@ -188,6 +268,10 @@ Result<ImageProfile> DeserializeProfile(const std::vector<uint8_t>& bytes) {
       DCPI_RETURN_IF_ERROR(reader.GetU64(&count));
       profile.AddSamples(offset, count);
     }
+  }
+  if (version_byte == kVersionMemory) {
+    DCPI_RETURN_IF_ERROR(
+        ReadMemorySection(&reader, payload_size, profile.mutable_mem()));
   }
   if (!reader.AtEnd()) return IoError("trailing bytes in profile");
   return profile;

@@ -113,6 +113,9 @@ FleetProfile MergeHostProfiles(
     for (const auto& [offset, count] : profile->counts()) {
       merged.AddSamples(offset, count);
     }
+    // The data-line axis is pure integer counters and masks: a plain
+    // commutative merge, no period weighting involved.
+    merged.mutable_mem()->Merge(profile->mem());
     double weight = static_cast<double>(profile->total_samples());
     period_contribs.emplace_back(profile->mean_period(), weight);
     total_weight += weight;

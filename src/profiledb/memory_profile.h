@@ -1,0 +1,111 @@
+// The second aggregation axis wide samples unlock: per-(image, event)
+// counters keyed by *data* cache line. Where ImageProfile's PC axis says
+// which instructions the cycles hit, this axis says which data lines the
+// sampled loads hit, how deep in the hierarchy they went, and what they
+// cost — the attribution ProfileMe-style samples exist to provide.
+
+#ifndef SRC_PROFILEDB_MEMORY_PROFILE_H_
+#define SRC_PROFILEDB_MEMORY_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/perfctr/wide_sample.h"
+
+namespace dcpi {
+
+inline constexpr uint64_t kMemLineBytes = 64;
+inline constexpr int kMemLatencyBuckets = 16;
+
+// Counters for one 64-byte data line. cpu_mask and offset_mask together
+// are the false-sharing signal: a line touched by several CPUs at several
+// distinct 8-byte slots is a sharing (or false-sharing) suspect.
+struct MemLineCounters {
+  uint64_t level_counts[kNumMemLevels] = {};  // sampled loads per MemLevel
+  uint64_t tlb_misses = 0;
+  uint64_t latency_sum = 0;  // total load-to-use cycles across samples
+  // Log2 latency histogram: bucket i counts latencies in [2^i, 2^(i+1))
+  // (bucket 0 also takes latency 0). Sparse on disk via a bucket bitmask.
+  uint64_t latency_hist[kMemLatencyBuckets] = {};
+  uint32_t cpu_mask = 0;    // CPUs that sampled the line (bit cpu % 32)
+  uint8_t offset_mask = 0;  // 8-byte slots of the line that were accessed
+
+  static int LatencyBucket(uint32_t latency) {
+    int bucket = 0;
+    while (latency > 1 && bucket < kMemLatencyBuckets - 1) {
+      latency >>= 1;
+      ++bucket;
+    }
+    return bucket;
+  }
+
+  uint64_t accesses() const {
+    uint64_t total = 0;
+    for (uint64_t count : level_counts) total += count;
+    return total;
+  }
+
+  double MeanLatency() const {
+    uint64_t total = accesses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(latency_sum) /
+                            static_cast<double>(total);
+  }
+
+  void Merge(const MemLineCounters& other) {
+    for (int i = 0; i < kNumMemLevels; ++i) level_counts[i] += other.level_counts[i];
+    tlb_misses += other.tlb_misses;
+    latency_sum += other.latency_sum;
+    for (int i = 0; i < kMemLatencyBuckets; ++i) {
+      latency_hist[i] += other.latency_hist[i];
+    }
+    cpu_mask |= other.cpu_mask;
+    offset_mask |= other.offset_mask;
+  }
+};
+
+// Data-line counters for one (image, event) pair, keyed by the line base
+// VA (ordered, for delta coding — same trick as the PC axis).
+class MemoryProfile {
+ public:
+  void AddAccess(uint64_t data_va, MemLevel level, uint32_t latency,
+                 bool tlb_miss, uint32_t cpu) {
+    MemLineCounters& line = lines_[data_va & ~(kMemLineBytes - 1)];
+    ++line.level_counts[static_cast<int>(level)];
+    if (tlb_miss) ++line.tlb_misses;
+    line.latency_sum += latency;
+    ++line.latency_hist[MemLineCounters::LatencyBucket(latency)];
+    line.cpu_mask |= 1u << (cpu & 31);
+    line.offset_mask |= static_cast<uint8_t>(1u << ((data_va >> 3) & 7));
+  }
+
+  // Used by the deserializer, which reconstructs whole lines.
+  void MergeLine(uint64_t line_va, const MemLineCounters& counters) {
+    lines_[line_va].Merge(counters);
+  }
+
+  void Merge(const MemoryProfile& other) {
+    for (const auto& [line_va, counters] : other.lines_) {
+      lines_[line_va].Merge(counters);
+    }
+  }
+
+  void Clear() { lines_.clear(); }
+  bool empty() const { return lines_.empty(); }
+  size_t num_lines() const { return lines_.size(); }
+
+  uint64_t total_accesses() const {
+    uint64_t total = 0;
+    for (const auto& [line_va, counters] : lines_) total += counters.accesses();
+    return total;
+  }
+
+  const std::map<uint64_t, MemLineCounters>& lines() const { return lines_; }
+
+ private:
+  std::map<uint64_t, MemLineCounters> lines_;  // line base VA -> counters
+};
+
+}  // namespace dcpi
+
+#endif  // SRC_PROFILEDB_MEMORY_PROFILE_H_

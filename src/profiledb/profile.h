@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/cpu/event.h"
+#include "src/profiledb/memory_profile.h"
 
 namespace dcpi {
 
@@ -32,7 +33,15 @@ class ImageProfile {
 
   // Drops all counts but keeps identity and mean period: the daemon resets
   // its aggregation slots this way at an epoch roll.
-  void ClearCounts() { counts_.clear(); }
+  void ClearCounts() {
+    counts_.clear();
+    mem_.Clear();
+  }
+
+  // The wide-sample data-line axis (empty unless memory sampling ran; an
+  // empty axis serializes as byte-exact version 3).
+  const MemoryProfile& mem() const { return mem_; }
+  MemoryProfile* mutable_mem() { return &mem_; }
 
   // Samples at an offset (0 if none).
   uint64_t SamplesAt(uint64_t offset) const {
@@ -61,13 +70,19 @@ class ImageProfile {
   const std::map<uint64_t, uint64_t>& counts() const { return counts_; }
 
   // Approximate in-memory footprint (daemon space accounting, Table 5).
-  uint64_t memory_bytes() const { return counts_.size() * 48 + 64; }
+  // A data-line entry is a map node holding MemLineCounters (~184 bytes of
+  // payload); zero when memory sampling is off.
+  uint64_t memory_bytes() const {
+    return counts_.size() * 48 + 64 +
+           mem_.num_lines() * (sizeof(MemLineCounters) + 48);
+  }
 
  private:
   std::string image_name_;
   EventType event_ = EventType::kCycles;
   double mean_period_ = 0;
   std::map<uint64_t, uint64_t> counts_;  // offset -> samples, ordered for delta coding
+  MemoryProfile mem_;                    // data-line axis from wide samples
 };
 
 }  // namespace dcpi

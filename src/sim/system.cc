@@ -48,6 +48,7 @@ System::System(const SystemConfig& config) : config_(config) {
     driver_config.intr_setup_cycles = 0;
     driver_config.hit_body_cycles = 0;
     driver_config.miss_body_cycles = 0;
+    driver_config.wide_body_cycles = 0;
     driver_config.ipi_flush_cycles = 0;
   }
   driver_ = std::make_unique<DcpiDriver>(config.kernel.num_cpus, driver_config);
@@ -57,6 +58,7 @@ System::System(const SystemConfig& config) : config_(config) {
 
   PerfCountersConfig counters_config = CountersFor(config.mode);
   counters_config.double_sampling = config.double_sampling;
+  counters_config.mem_fraction = config.mem_fraction;
   if (config.period_scale != 1.0) {
     counters_config = counters_config.WithPeriodScale(config.period_scale);
   }

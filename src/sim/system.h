@@ -44,6 +44,11 @@ struct SystemConfig {
   double period_scale = 1.0;
   // Section 7 extension: capture (PC, next PC) pairs via double sampling.
   bool double_sampling = false;
+  // ProfileMe-style memory sampling: this fraction of delivered samples
+  // become wide records (data VA + latency + memory level + TLB bit) that
+  // bypass the hash table. 0.0 is byte-identical to a build without the
+  // feature: no RNG draws, no wide records, no v4 files.
+  double mem_fraction = 0.0;
   // Zero out the modelled interrupt/daemon costs. Used by the analysis
   // experiments, which densify the sampling period to emulate a long
   // paper-rate run with a short simulation: at paper periods the handler

@@ -26,9 +26,14 @@
 // single-host database at <output_dir>/db/merged while collection is still
 // running, finishing the remainder after the last host exits.
 //
+// --mem-fraction F takes the given fraction of samples as ProfileMe-style
+// wide memory records (data VA, latency, memory level, TLB bit), feeding
+// the database's data-line axis that dcpimem reads. 0 (the default) is
+// byte-identical to a run without memory sampling.
+//
 // Workloads: copy scale sum triad specfp specint gcc x11perf altavista dss
 //            parallel_specfp timesharing pointer_chase branch_heavy
-//            icache_stress imul_fdiv write_buffer
+//            icache_stress imul_fdiv write_buffer false_sharing
 // Modes: cycles default mux
 
 #include <atomic>
@@ -68,6 +73,7 @@ Workload MakeWorkload(WorkloadFactory& factory, const std::string& name) {
   if (name == "icache_stress") return factory.IcacheStress();
   if (name == "imul_fdiv") return factory.ImulFdivStress();
   if (name == "write_buffer") return factory.WriteBufferStress();
+  if (name == "false_sharing") return factory.FalseSharing();
   std::fprintf(stderr, "unknown workload %s\n", name.c_str());
   std::exit(2);
 }
@@ -75,8 +81,8 @@ Workload MakeWorkload(WorkloadFactory& factory, const std::string& name) {
 int Usage() {
   std::fprintf(stderr,
                "usage: dcpi_sim [--continuous] [--epochs N] [--quanta Q] "
-               "[--fleet N] [--compact] <workload> <output_dir> [mode] "
-               "[scale] [cpus]\n");
+               "[--fleet N] [--compact] [--mem-fraction F] <workload> "
+               "<output_dir> [mode] [scale] [cpus]\n");
   return 2;
 }
 
@@ -98,6 +104,7 @@ struct RunParams {
   std::string mode_name;
   double scale = 0.25;
   uint32_t cpus = 0;
+  double mem_fraction = 0.0;  // fraction of samples taken as wide records
   bool continuous = false;
   uint32_t num_epochs = 3;
   uint64_t quanta_per_epoch = 400;
@@ -128,6 +135,7 @@ RunOutcome RunInstance(const RunParams& params) {
   config.period_scale = 1.0 / 16;  // dense sampling for offline analysis
   config.db_root = params.db_root;
   config.rng_seed = params.rng_seed;
+  config.mem_fraction = params.mem_fraction;
   if (params.continuous) {
     // Continuous operation: flush the cumulative profiles at every drain
     // interval and let image-map changes (the per-epoch process exits)
@@ -245,6 +253,16 @@ int main(int argc, char** argv) {
           fleet_hosts > 256) {
         return Usage();
       }
+    } else if (std::strcmp(argv[arg], "--mem-fraction") == 0 && arg + 1 < argc) {
+      // 0 is legal (and the default): byte-identical to a build without
+      // memory sampling.
+      char* end = nullptr;
+      double value = std::strtod(argv[++arg], &end);
+      if (argv[arg][0] == '\0' || end == nullptr || *end != '\0' || value < 0 ||
+          value > 1) {
+        return Usage();
+      }
+      params.mem_fraction = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
       return 2;

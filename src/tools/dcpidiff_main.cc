@@ -2,14 +2,23 @@
 // images (before/after an optimization or a behaviour change).
 //
 // Usage:
-//   dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...
+//   dcpidiff [--fleet] [--jobs N] [--no-cache] <db_root> <epoch_before>
+//            <epoch_after> <image_file>...
+//
+// With --fleet, <db_root> is a fleet root of host_<id> shards and each
+// epoch's profiles are the fleet-wide merge-on-read aggregates, so the
+// diff compares fleet behaviour before and after. The shared epoch flags
+// (--epoch/--all-epochs) are rejected: dcpidiff's two epochs are
+// positional and explicit.
 
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/isa/image_io.h"
 #include "src/profiledb/database.h"
+#include "src/profiledb/fleet.h"
 #include "src/tools/dcpidiff.h"
 #include "src/tools/toolkit.h"
 
@@ -17,7 +26,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcpidiff <db_root> <epoch_before> <epoch_after> <image_file>...\n");
+               "usage: dcpidiff [--fleet] [--jobs N] [--no-cache] <db_root> "
+               "<epoch_before> <epoch_after> <image_file>...\n");
   return 2;
 }
 
@@ -25,42 +35,73 @@ int Usage() {
 
 int main(int argc, char** argv) {
   using namespace dcpi;
-  if (argc < 5) return Usage();
+  ToolOptions options;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    int shared = ParseToolFlag(argc, argv, &arg, &options);
+    if (shared < 0) return Usage();
+    if (shared == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", argv[arg]);
+      return 2;
+    }
+    ++arg;
+  }
+  // The two diffed epochs are positional; the shared epoch-set flags would
+  // silently contradict them.
+  if (options.all_epochs || !options.epochs.empty()) return Usage();
+  if (argc - arg < 4) return Usage();
   uint32_t epoch_before = 0;
   uint32_t epoch_after = 0;
-  if (!ParseUint32(argv[2], &epoch_before) || !ParseUint32(argv[3], &epoch_after)) {
-    std::fprintf(stderr, "malformed epoch '%s' / '%s'\n", argv[2], argv[3]);
+  if (!ParseUint32(argv[arg + 1], &epoch_before) ||
+      !ParseUint32(argv[arg + 2], &epoch_after)) {
+    std::fprintf(stderr, "malformed epoch '%s' / '%s'\n", argv[arg + 1],
+                 argv[arg + 2]);
     return Usage();
   }
+
   // Read-only, like every other reader tool: dcpidiff may run against a
-  // database a daemon is still writing.
-  ProfileDatabase db(argv[1], DbOpenMode::kReadOnly);
+  // database a daemon is still writing. Exactly one of db/fleet is set.
+  std::unique_ptr<ProfileDatabase> db;
+  std::unique_ptr<FleetView> fleet;
+  if (options.fleet) {
+    fleet = std::make_unique<FleetView>(argv[arg]);
+    if (fleet->num_hosts() == 0) {
+      std::fprintf(stderr, "%s holds no host_<id> shards\n", argv[arg]);
+      return 1;
+    }
+  } else {
+    db = std::make_unique<ProfileDatabase>(argv[arg], DbOpenMode::kReadOnly);
+  }
+  auto read_profile = [&](uint32_t epoch, const std::string& image_name) {
+    return db != nullptr ? db->ReadProfile(epoch, image_name, EventType::kCycles)
+                         : fleet->ReadProfile({epoch}, image_name,
+                                              EventType::kCycles);
+  };
 
   std::deque<ImageProfile> storage;
   std::vector<ProfInput> before_inputs, after_inputs;
-  for (int i = 4; i < argc; ++i) {
+  for (int i = arg + 3; i < argc; ++i) {
     Result<std::shared_ptr<ExecutableImage>> image = LoadImage(argv[i]);
     if (!image.ok()) {
       std::fprintf(stderr, "cannot load %s: %s\n", argv[i],
                    image.status().ToString().c_str());
       return 1;
     }
-    Result<ImageProfile> before =
-        db.ReadProfile(epoch_before, image.value()->name(), EventType::kCycles);
+    Result<ImageProfile> before = read_profile(epoch_before, image.value()->name());
     if (before.ok()) {
       storage.push_back(std::move(before.value()));
       before_inputs.push_back({image.value(), &storage.back(), nullptr});
     }
-    Result<ImageProfile> after =
-        db.ReadProfile(epoch_after, image.value()->name(), EventType::kCycles);
+    Result<ImageProfile> after = read_profile(epoch_after, image.value()->name());
     if (after.ok()) {
       storage.push_back(std::move(after.value()));
       after_inputs.push_back({image.value(), &storage.back(), nullptr});
     }
   }
   if (before_inputs.empty() && after_inputs.empty()) {
-    std::fprintf(stderr, "no CYCLES profiles for the given images in epoch %u or %u of %s\n",
-                 epoch_before, epoch_after, argv[1]);
+    std::fprintf(stderr,
+                 "no CYCLES profiles for the given images in epoch %u or %u of %s\n",
+                 epoch_before, epoch_after, argv[arg]);
     return 1;
   }
   std::vector<DiffRow> rows =

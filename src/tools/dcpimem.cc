@@ -1,0 +1,153 @@
+#include "src/tools/dcpimem.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+#include "src/support/text_table.h"
+
+namespace dcpi {
+
+namespace {
+
+// Enclosing data symbol of a line: the highest-addressed symbol at or
+// below the line's base, provided the line is inside the image's data
+// section. Data symbols carry no sizes (like the paper's symbol tables),
+// so an object extends to the next symbol or the section end.
+std::string ObjectNameFor(const ExecutableImage& image, uint64_t line_va) {
+  uint64_t data_begin = image.data_base();
+  uint64_t data_end = data_begin + image.data_size();
+  if (line_va < data_begin || line_va >= data_end) return "?";
+  const DataSymbol* best = nullptr;
+  for (const DataSymbol& sym : image.data_symbols()) {
+    if (sym.address <= line_va && (best == nullptr || sym.address > best->address)) {
+      best = &sym;
+    }
+  }
+  return best == nullptr ? "?" : best->name;
+}
+
+std::string Hex(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+MemReport BuildMemReport(const std::vector<MemInput>& inputs, size_t top_n) {
+  MemReport report;
+  // Fold per-event profiles of one image together: the line key is
+  // (image, VA), and a line's counters are event-agnostic measurements.
+  std::map<std::pair<std::string, uint64_t>, MemLineRow> lines;
+  for (const MemInput& input : inputs) {
+    if (input.profile == nullptr || input.image == nullptr) continue;
+    for (const auto& [line_va, counters] : input.profile->mem().lines()) {
+      MemLineRow& row = lines[{input.image->name(), line_va}];
+      if (row.image_name.empty()) {
+        row.image_name = input.image->name();
+        row.object_name = ObjectNameFor(*input.image, line_va);
+        row.line_va = line_va;
+      }
+      row.counters.Merge(counters);
+    }
+  }
+
+  std::map<std::pair<std::string, std::string>, MemObjectRow> objects;
+  for (auto& [key, row] : lines) {
+    row.sharing_suspect = std::popcount(row.counters.cpu_mask) >= 2 &&
+                          std::popcount(static_cast<unsigned>(row.counters.offset_mask)) >= 2;
+    report.total_accesses += row.counters.accesses();
+    MemObjectRow& object = objects[{row.image_name, row.object_name}];
+    object.image_name = row.image_name;
+    object.object_name = row.object_name;
+    object.lines += 1;
+    object.accesses += row.counters.accesses();
+    object.misses +=
+        row.counters.level_counts[static_cast<int>(MemLevel::kBoard)] +
+        row.counters.level_counts[static_cast<int>(MemLevel::kDram)];
+    object.tlb_misses += row.counters.tlb_misses;
+    object.latency_sum += row.counters.latency_sum;
+    report.lines.push_back(row);
+    if (row.sharing_suspect) report.suspects.push_back(row);
+  }
+
+  auto hotter = [](const MemLineRow& a, const MemLineRow& b) {
+    uint64_t a_accesses = a.counters.accesses();
+    uint64_t b_accesses = b.counters.accesses();
+    if (a_accesses != b_accesses) return a_accesses > b_accesses;
+    return std::tie(a.image_name, a.line_va) < std::tie(b.image_name, b.line_va);
+  };
+  std::sort(report.lines.begin(), report.lines.end(), hotter);
+  std::sort(report.suspects.begin(), report.suspects.end(), hotter);
+  if (top_n != 0 && report.lines.size() > top_n) report.lines.resize(top_n);
+
+  for (auto& [key, object] : objects) report.objects.push_back(object);
+  std::sort(report.objects.begin(), report.objects.end(),
+            [](const MemObjectRow& a, const MemObjectRow& b) {
+              if (a.latency_sum != b.latency_sum) return a.latency_sum > b.latency_sum;
+              return std::tie(a.image_name, a.object_name) <
+                     std::tie(b.image_name, b.object_name);
+            });
+  return report;
+}
+
+std::string FormatMemReport(const MemReport& report) {
+  std::string out;
+  out += "Hottest data lines (" + std::to_string(report.total_accesses) +
+         " sampled load(s) total):\n";
+  {
+    TextTable table;
+    table.SetHeader({"line", "loads", "L1", "L2", "board", "DRAM", "dTLB",
+                     "avg-lat", "cpus", "slots", "object", "image"});
+    for (const MemLineRow& row : report.lines) {
+      table.AddRow({Hex(row.line_va), std::to_string(row.counters.accesses()),
+                    std::to_string(row.counters.level_counts[0]),
+                    std::to_string(row.counters.level_counts[1]),
+                    std::to_string(row.counters.level_counts[2]),
+                    std::to_string(row.counters.level_counts[3]),
+                    std::to_string(row.counters.tlb_misses),
+                    TextTable::Fixed(row.counters.MeanLatency(), 1),
+                    std::to_string(std::popcount(row.counters.cpu_mask)),
+                    std::to_string(std::popcount(
+                        static_cast<unsigned>(row.counters.offset_mask))),
+                    row.object_name, row.image_name});
+    }
+    out += table.ToString();
+  }
+  out += "\nData objects (by total load-miss latency):\n";
+  {
+    TextTable table;
+    table.SetHeader({"object", "lines", "loads", "misses", "dTLB", "avg-lat",
+                     "image"});
+    for (const MemObjectRow& row : report.objects) {
+      table.AddRow({row.object_name, std::to_string(row.lines),
+                    std::to_string(row.accesses), std::to_string(row.misses),
+                    std::to_string(row.tlb_misses),
+                    TextTable::Fixed(row.MeanLatency(), 1), row.image_name});
+    }
+    out += table.ToString();
+  }
+  out += "\nFalse-sharing suspects (>=2 CPUs, >=2 distinct 8-byte slots):\n";
+  if (report.suspects.empty()) {
+    out += "  (none)\n";
+  } else {
+    TextTable table;
+    table.SetHeader({"line", "loads", "cpus", "slots", "avg-lat", "object",
+                     "image"});
+    for (const MemLineRow& row : report.suspects) {
+      table.AddRow({Hex(row.line_va), std::to_string(row.counters.accesses()),
+                    std::to_string(std::popcount(row.counters.cpu_mask)),
+                    std::to_string(std::popcount(
+                        static_cast<unsigned>(row.counters.offset_mask))),
+                    TextTable::Fixed(row.counters.MeanLatency(), 1),
+                    row.object_name, row.image_name});
+    }
+    out += table.ToString();
+  }
+  return out;
+}
+
+}  // namespace dcpi

@@ -1,0 +1,69 @@
+// dcpimem: the memory-centric view of a profile database — the analysis
+// the ProfileMe-style wide samples exist to enable. Reports the hottest
+// data cache lines (per-level hit counts, mean load latency, TLB misses),
+// aggregates them into per-data-object rows via the images' data symbols,
+// and flags false-sharing suspects: lines sampled by several CPUs at
+// several distinct 8-byte slots.
+
+#ifndef SRC_TOOLS_DCPIMEM_H_
+#define SRC_TOOLS_DCPIMEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/profiledb/profile.h"
+
+namespace dcpi {
+
+// One (image, event) profile with its memory axis, as read by the tool.
+struct MemInput {
+  std::shared_ptr<ExecutableImage> image;
+  const ImageProfile* profile = nullptr;  // mem() may be empty
+};
+
+struct MemLineRow {
+  std::string image_name;
+  std::string object_name;  // enclosing data symbol, or "?" outside symbols
+  uint64_t line_va = 0;
+  MemLineCounters counters;
+  // >= 2 CPUs touched >= 2 distinct 8-byte slots of the line.
+  bool sharing_suspect = false;
+};
+
+struct MemObjectRow {
+  std::string image_name;
+  std::string object_name;
+  uint64_t lines = 0;
+  uint64_t accesses = 0;
+  uint64_t misses = 0;  // accesses that left the L1 (board or DRAM fills)
+  uint64_t tlb_misses = 0;
+  uint64_t latency_sum = 0;
+
+  double MeanLatency() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(latency_sum) /
+                               static_cast<double>(accesses);
+  }
+};
+
+struct MemReport {
+  std::vector<MemLineRow> lines;      // hottest first, truncated to top_n
+  std::vector<MemObjectRow> objects;  // by miss-weighted latency, descending
+  std::vector<MemLineRow> suspects;   // sharing suspects among ALL lines
+  uint64_t total_accesses = 0;        // across every input line (pre-cut)
+};
+
+// Builds the report from the inputs' memory axes. Deterministic: ties are
+// broken by (image, VA). `top_n` caps only the hottest-lines table;
+// suspects and objects always cover every line.
+MemReport BuildMemReport(const std::vector<MemInput>& inputs, size_t top_n = 20);
+
+// Renders the three tables in the tools' fixed-width text style.
+std::string FormatMemReport(const MemReport& report);
+
+}  // namespace dcpi
+
+#endif  // SRC_TOOLS_DCPIMEM_H_

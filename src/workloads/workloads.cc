@@ -1184,6 +1184,55 @@ Workload WorkloadFactory::WriteBufferStress() {
   return workload;
 }
 
+Workload WorkloadFactory::FalseSharing(uint32_t num_cpus) {
+  // Every worker owns one 8-byte slot of `shared_ctrs` (a single 64-byte
+  // line) and one whole line of `private_arr`. The shared line is touched
+  // by every CPU at distinct offsets — the false-sharing signature — while
+  // each private line is single-CPU and must stay unflagged. Workers get
+  // distinct entry procedures so each process's loop has its own PCs.
+  std::string source = "        .text\n";
+  for (uint32_t w = 0; w < num_cpus; ++w) {
+    const std::string ws = std::to_string(w);
+    source += "        .proc worker" + ws + "\n";
+    source += "        lia   r1, shared_ctrs\n";
+    source += "        lia   r2, private_arr\n";
+    source += "        li    r20, " + std::to_string(Iters(300000)) + "\n";
+    source += "loop" + ws + ":\n";
+    source += "        ldq   r3, " + std::to_string(w * 8) + "(r1)\n";
+    source += "        addq  r3, 1, r3\n";
+    source += "        stq   r3, " + std::to_string(w * 8) + "(r1)\n";
+    // The address copy dual-issues with the store; the private load then
+    // has a RAW hazard on r5 and must lead its own issue group, so the
+    // sampler can arm on it (only group leaders are sampled).
+    source += "        addq  r2, 0, r5\n";
+    source += "        ldq   r4, " + std::to_string(w * 64) + "(r5)\n";
+    source += "        addq  r4, r3, r4\n";
+    source += "        stq   r4, " + std::to_string(w * 64) + "(r5)\n";
+    source += "        subq  r20, 1, r20\n";
+    source += "        bne   r20, loop" + ws + "\n";
+    source += "        halt\n";
+    source += "        .endp\n";
+  }
+  source += "        .data\n";
+  source += "        .align 64\n";
+  source += "shared_ctrs: .space 64\n";
+  source += "        .align 64\n";
+  source += "private_arr: .space " + std::to_string(num_cpus * 64) + "\n";
+  Workload workload;
+  workload.name = "false_sharing";
+  workload.description =
+      "one shared 64-byte line ping-ponged across CPUs at distinct offsets";
+  workload.num_cpus = num_cpus;
+  std::shared_ptr<ExecutableImage> image = Build("falseshare", source);
+  for (uint32_t w = 0; w < num_cpus; ++w) {
+    // Process creation order fixes pids 1..N, and the kernel's round-robin
+    // queue assignment then lands exactly one worker per CPU.
+    workload.processes.push_back(
+        {"worker_" + std::to_string(w), {image}, "worker" + std::to_string(w)});
+  }
+  return workload;
+}
+
 std::vector<Workload> WorkloadFactory::Table2Suite() {
   std::vector<Workload> suite;
   suite.push_back(SpecIntLike());

@@ -82,6 +82,12 @@ class WorkloadFactory {
   Workload ImulFdivStress();
   Workload WriteBufferStress();
 
+  // Planted false sharing for the memory-sampling tools: one process per
+  // CPU, each read-modify-writing its own 8-byte slot of a single shared
+  // 64-byte line (no data is logically shared), plus a 64-byte-strided
+  // private control region that a correct detector must not flag.
+  Workload FalseSharing(uint32_t num_cpus = 4);
+
   // The Table 2/3 suite (uniprocessor + multiprocessor rows).
   std::vector<Workload> Table2Suite();
 

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace dcpi {
@@ -58,6 +59,21 @@ TEST_F(CliExitTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunTool("dcpi_sim copy " + root_ + " cycles 0.25 4x"), 2);
   // --compact only makes sense for a fleet run.
   EXPECT_EQ(RunTool("dcpi_sim --compact copy " + root_), 2);
+  // Memory-sampling tools and flags follow the same contract.
+  EXPECT_EQ(RunTool("dcpimem"), 2);
+  EXPECT_EQ(RunTool("dcpiannotate"), 2);
+  EXPECT_EQ(RunTool("dcpimem --top 0 db img"), 2);
+  EXPECT_EQ(RunTool("dcpimem --top nope db img"), 2);
+  EXPECT_EQ(RunTool("dcpimem --bogus-flag db img"), 2);
+  EXPECT_EQ(RunTool("dcpiannotate --bogus-flag db img src"), 2);
+  // dcpidiff's two epochs are positional; the shared epoch-set flags would
+  // silently contradict them and are rejected.
+  EXPECT_EQ(RunTool("dcpidiff --epoch 1 db 0 1 img"), 2);
+  EXPECT_EQ(RunTool("dcpidiff --all-epochs db 0 1 img"), 2);
+  // --mem-fraction is a probability: [0, 1], strictly parsed.
+  EXPECT_EQ(RunTool("dcpi_sim --mem-fraction 1.5 copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --mem-fraction -0.25 copy " + root_), 2);
+  EXPECT_EQ(RunTool("dcpi_sim --mem-fraction nope copy " + root_), 2);
 }
 
 TEST_F(CliExitTest, MissingInputsExitOne) {
@@ -70,6 +86,8 @@ TEST_F(CliExitTest, MissingInputsExitOne) {
   EXPECT_EQ(RunTool("dcpidiff " + db + " 0 1 " + missing), 1);
   EXPECT_EQ(RunTool("dcpistats " + db + " " + missing), 1);
   EXPECT_EQ(RunTool("dcpicheck " + db + " " + missing), 1);
+  EXPECT_EQ(RunTool("dcpimem " + db + " " + missing), 1);
+  EXPECT_EQ(RunTool("dcpiannotate " + db + " " + missing + " " + missing), 1);
 }
 
 TEST_F(CliExitTest, ContinuousPipelineExitsZeroAndEmptyEpochsExitOne) {
@@ -105,9 +123,32 @@ TEST_F(CliExitTest, ContinuousPipelineExitsZeroAndEmptyEpochsExitOne) {
   // dcpistats compares sample sets; one epoch is not enough.
   EXPECT_EQ(RunTool("dcpistats --epoch 0 " + db + " " + image), 1);
 
+  // The annotated source need not match the image: unmatched lines simply
+  // get blank sample columns, and the tool still renders the report.
+  const std::string source = root_ + "/probe.s";
+  {
+    std::ofstream out(source);
+    out << "        .text\n        .proc probe\n        halt\n        .endp\n";
+  }
+  EXPECT_EQ(RunTool("dcpiannotate " + db + " " + image + " " + source), 0);
+  EXPECT_EQ(RunTool("dcpiannotate --epoch 9999 " + db + " " + image + " " +
+                    source),
+            1);
+  EXPECT_EQ(RunTool("dcpiannotate " + db + " " + image + " " + root_ +
+                    "/no_such_source.s"),
+            1);
+
+  // This run collected no wide records (--mem-fraction defaults to 0), so
+  // memory-centric analysis is a data failure, not an empty report.
+  EXPECT_EQ(RunTool("dcpimem " + db + " " + image), 1);
+
   // --fleet against a plain (non-sharded) database is a data failure.
   EXPECT_EQ(RunTool("dcpiprof --fleet " + db + " " + image), 1);
   EXPECT_EQ(RunTool("dcpistats --fleet " + db + " " + image), 1);
+  EXPECT_EQ(RunTool("dcpicalc --fleet " + db + " " + image + " main"), 1);
+  EXPECT_EQ(RunTool("dcpidiff --fleet " + db + " 0 1 " + image), 1);
+  EXPECT_EQ(RunTool("dcpiannotate --fleet " + db + " " + image + " " + source), 1);
+  EXPECT_EQ(RunTool("dcpimem --fleet " + db + " " + image), 1);
 }
 
 TEST_F(CliExitTest, FleetPipelineExitsZero) {
@@ -115,7 +156,7 @@ TEST_F(CliExitTest, FleetPipelineExitsZero) {
   // background compaction, then every --fleet reader over the shard root,
   // and the plain readers over the compacted merge.
   ASSERT_EQ(RunTool("dcpi_sim --fleet 2 --compact --continuous --epochs 2 "
-                    "copy " + root_ + " cycles 0.25"),
+                    "--mem-fraction 0.5 copy " + root_ + " cycles 0.25"),
             0);
   const std::string fleet = root_ + "/db";
   std::string all_images;
@@ -133,6 +174,25 @@ TEST_F(CliExitTest, FleetPipelineExitsZero) {
   EXPECT_EQ(RunTool("dcpiprof --fleet -i " + fleet + all_images), 0);
   EXPECT_EQ(RunTool("dcpistats --fleet " + fleet + all_images), 0);
   EXPECT_EQ(RunTool("dcpicheck --fleet --all-epochs " + fleet + all_images), 0);
+
+  // The whole reader family speaks --fleet: image_1 is the application
+  // image (image_0 is the kernel), and the run above collected wide
+  // records, so the memory tool has fleet-wide data-line profiles to show.
+  const std::string app_image = root_ + "/images/image_1.img";
+  EXPECT_EQ(RunTool("dcpidiff --fleet " + fleet + " 0 1 " + app_image), 0);
+  EXPECT_EQ(RunTool("dcpicalc --fleet " + fleet + " " + app_image +
+                    " mccalpin_copy"),
+            0);
+  EXPECT_EQ(RunTool("dcpimem --fleet --all-epochs " + fleet + " " + app_image),
+            0);
+  const std::string source = root_ + "/probe.s";
+  {
+    std::ofstream out(source);
+    out << "        .text\n        .proc probe\n        halt\n        .endp\n";
+  }
+  EXPECT_EQ(RunTool("dcpiannotate --fleet " + fleet + " " + app_image + " " +
+                    source),
+            0);
 
   // The compacted merge is a regular database the plain tools can read.
   ASSERT_TRUE(std::filesystem::exists(fleet + "/merged"));

@@ -142,7 +142,7 @@ TEST(DaemonIngest, EmptyAndZeroCountBuffersCreateNoProfiles) {
   for (const DaemonConfig& config : {Batched(), Legacy()}) {
     Daemon daemon(nullptr, nullptr, {}, config);
     LoadStandardMaps(&daemon);
-    daemon.ProcessBuffer(0, {});
+    daemon.ProcessBuffer(0, std::vector<SampleRecord>{});
     std::vector<SampleRecord> zeros(5, {{7, 0x0100'0000, EventType::kCycles}, 0});
     daemon.ProcessBuffer(0, zeros);
     // Zero-count records carry no samples: no profile may materialize in

@@ -25,11 +25,16 @@ struct DrainTally {
   uint64_t total = 0;
   std::map<uint32_t, uint64_t> per_pid;
 
-  void Add(const std::vector<SampleRecord>& records) {
+  void Add(const std::vector<OverflowRecord>& records) {
     std::lock_guard lock(mu);
-    for (const SampleRecord& r : records) {
-      total += r.count;
-      per_pid[r.key.pid] += r.count;
+    for (const OverflowRecord& r : records) {
+      if (r.kind == OverflowRecord::Kind::kWide) {
+        total += 1;
+        per_pid[r.wide.pid] += 1;
+      } else {
+        total += r.narrow.count;
+        per_pid[r.narrow.key.pid] += r.narrow.count;
+      }
     }
   }
 };
@@ -48,7 +53,7 @@ TEST(DriverConcurrency, NoSampleLostOrDoubleCountedUnderConcurrentDrain) {
 
   DrainTally tally;
   driver.set_overflow_handler(
-      [&](uint32_t, const std::vector<SampleRecord>& records) { tally.Add(records); });
+      [&](uint32_t, const std::vector<OverflowRecord>& records) { tally.Add(records); });
   driver.SetDrainMode(DrainMode::kConcurrent);
 
   std::atomic<uint32_t> producers_live{kCpus};
@@ -107,7 +112,7 @@ TEST(DriverConcurrency, SlowDrainerCausesBackpressureNotLoss) {
 
   DrainTally tally;
   driver.set_overflow_handler(
-      [&](uint32_t, const std::vector<SampleRecord>& records) { tally.Add(records); });
+      [&](uint32_t, const std::vector<OverflowRecord>& records) { tally.Add(records); });
   driver.SetDrainMode(DrainMode::kConcurrent);
 
   constexpr uint64_t kSamples = 20'000;
@@ -148,7 +153,7 @@ TEST(DriverConcurrency, InlineModeHandsFullBuffersSynchronously) {
   DcpiDriver driver(1, config);
   size_t calls_during_delivery = 0;
   driver.set_overflow_handler(
-      [&](uint32_t, const std::vector<SampleRecord>& records) {
+      [&](uint32_t, const std::vector<OverflowRecord>& records) {
         ++calls_during_delivery;
         EXPECT_EQ(records.size(), 4u);
       });

@@ -105,7 +105,7 @@ TEST(DcpiDriver, OverflowBufferHandedToDaemonWhenFull) {
   DcpiDriver driver(1, config);
   std::vector<size_t> delivered_sizes;
   driver.set_overflow_handler(
-      [&](uint32_t cpu, const std::vector<SampleRecord>& records) {
+      [&](uint32_t cpu, const std::vector<OverflowRecord>& records) {
         EXPECT_EQ(cpu, 0u);
         delivered_sizes.push_back(records.size());
       });
@@ -123,9 +123,9 @@ TEST(DcpiDriver, FlushAllDrainsEverything) {
   driver.DeliverSample(1, 2, 0x2000, EventType::kImiss);
   uint64_t total = 0;
   driver.set_overflow_handler(
-      [&](uint32_t cpu, const std::vector<SampleRecord>& records) {
+      [&](uint32_t cpu, const std::vector<OverflowRecord>& records) {
         (void)cpu;
-        for (const auto& r : records) total += r.count;
+        for (const auto& r : records) total += r.narrow.count;
       });
   driver.FlushAll();
   EXPECT_EQ(total, 2u);
@@ -154,8 +154,8 @@ TEST(DcpiDriver, RequestedFlushIsServicedAtNextSampleWithIpiCost) {
   driver.DeliverSample(0, 1, 0x1000, EventType::kCycles);
   uint64_t drained = 0;
   driver.set_overflow_handler(
-      [&](uint32_t, const std::vector<SampleRecord>& records) {
-        for (const auto& r : records) drained += r.count;
+      [&](uint32_t, const std::vector<OverflowRecord>& records) {
+        for (const auto& r : records) drained += r.narrow.count;
       });
   driver.RequestFlush();
   // The next interrupt on the CPU performs the flush and pays the IPI cost.

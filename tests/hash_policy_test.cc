@@ -31,6 +31,8 @@ struct DriveResult {
   CountMap totals;  // evicted victims + flushed entries, per key
   CountMap oracle;  // every Record() call, per key
   uint64_t flushed_entries = 0;
+  uint64_t victim_samples = 0;   // counts carried out by eviction victims
+  uint64_t flushed_samples = 0;  // counts still live at the final flush
   HashTableStats stats;
 };
 
@@ -44,11 +46,13 @@ DriveResult Drive(const HashTableConfig& config,
     if (r.evicted) {
       EXPECT_GT(r.victim.count, 0u);
       result.totals[Tup(r.victim.key)] += r.victim.count;
+      result.victim_samples += r.victim.count;
     }
   }
   table.Flush([&](const SampleRecord& record) {
     EXPECT_GT(record.count, 0u);
     result.totals[Tup(record.key)] += record.count;
+    result.flushed_samples += record.count;
     ++result.flushed_entries;
   });
   EXPECT_EQ(table.live_entries(), 0u);
@@ -69,6 +73,11 @@ void CheckInvariants(const HashTableConfig& config,
   EXPECT_LE(r.stats.evictions, r.stats.misses);
   EXPECT_LE(r.stats.front_hits, r.stats.hits);
   EXPECT_LE(r.stats.saturation_spills, r.stats.hits);
+  // Spill accounting: spilled_samples is exactly the aggregate counts the
+  // overflow path carried out (eviction victims + saturation spills), and
+  // every recorded sample leaves either that way or at the final flush.
+  EXPECT_EQ(r.stats.spilled_samples, r.victim_samples);
+  EXPECT_EQ(r.stats.spilled_samples + r.flushed_samples, r.stats.lookups);
   // Entries enter on misses, leave via eviction or flush: what remained
   // at flush time is insertions minus displacements.
   EXPECT_EQ(r.flushed_entries, r.stats.misses - r.stats.evictions);
@@ -153,6 +162,10 @@ TEST(HashPolicy, SaturationSpillsAreLossless) {
   EXPECT_GT(r.stats.saturation_spills, 0u);
   // 1 insert + spill every 3 subsequent hits.
   EXPECT_EQ(r.stats.saturation_spills, (100u - 1) / 3);
+  // Every spill carries out a saturated aggregate of max_count samples;
+  // the remainder of the stream is still live at the flush.
+  EXPECT_EQ(r.stats.spilled_samples, r.stats.saturation_spills * config.max_count);
+  EXPECT_EQ(r.flushed_samples, 100u - r.stats.spilled_samples);
 }
 
 TEST(HashPolicy, MaxCountClampsToPackedWidth) {

@@ -153,6 +153,60 @@ TEST(MpDeterminism, BatchedIngestWritesByteIdenticalDatabase) {
   }
 }
 
+TEST(MpDeterminism, MemFractionZeroWritesByteIdenticalDatabase) {
+  // Memory sampling off is the shipped default, and it must be *exactly*
+  // the pre-wide-record pipeline: with mem_fraction 0 the wide-sample RNG
+  // is never consulted, no version-4 files appear, and the on-disk
+  // database is byte-identical to a build that never heard of wide
+  // records — at one CPU and at four.
+  for (uint32_t cpus : {1u, 4u}) {
+    std::map<std::string, std::vector<uint8_t>> trees[2];
+    int index = 0;
+    for (bool explicit_zero : {false, true}) {
+      std::string root = "/tmp/dcpi_mp_memfrac_db_" + std::to_string(cpus) +
+                         (explicit_zero ? "_zero" : "_default");
+      std::filesystem::remove_all(root);
+      SystemConfig config = MpConfig(/*jitter_seed=*/explicit_zero ? 17 : 0);
+      config.kernel.num_cpus = cpus;
+      config.db_root = root;
+      if (explicit_zero) config.mem_fraction = 0.0;
+      RunOutcome out = RunOnce(config);
+      EXPECT_GT(out.total_samples, 0u);
+      trees[index++] = ReadTree(root);
+      std::filesystem::remove_all(root);
+    }
+    EXPECT_FALSE(trees[0].empty()) << cpus << " cpus";
+    EXPECT_EQ(trees[0], trees[1]) << cpus << " cpus";
+    // No file in a fraction-0 database may carry the version-4 memory
+    // section: byte 4 of every profile is the pre-v4 format version.
+    for (const auto& [path, bytes] : trees[0]) {
+      if (path.find(".prof") == std::string::npos || bytes.size() < 5) continue;
+      EXPECT_LE(bytes[4], 3) << path;
+    }
+  }
+}
+
+TEST(MpDeterminism, MemSamplingIsDeterministicAcrossInterleavings) {
+  // With wide records on, the database (now holding version-4 profiles)
+  // must still depend only on the simulated machine: identical trees
+  // across host-thread jitter seeds, at four CPUs.
+  std::map<std::string, std::vector<uint8_t>> trees[2];
+  int index = 0;
+  for (uint32_t jitter : {0u, 1234u}) {
+    std::string root = "/tmp/dcpi_mp_memwide_db_" + std::to_string(jitter);
+    std::filesystem::remove_all(root);
+    SystemConfig config = MpConfig(jitter);
+    config.db_root = root;
+    config.mem_fraction = 0.25;
+    RunOutcome out = RunOnce(config);
+    EXPECT_GT(out.total_samples, 0u);
+    trees[index++] = ReadTree(root);
+    std::filesystem::remove_all(root);
+  }
+  EXPECT_FALSE(trees[0].empty());
+  EXPECT_EQ(trees[0], trees[1]);
+}
+
 TEST(MpDeterminism, ShippedHashPolicyMatchesLegacyProfiles) {
   // With free profiling the sample stream depends only on the simulated
   // machine, so the hash table is a pure aggregation stage: the 6-way

@@ -14,6 +14,7 @@
 
 #include "src/daemon/daemon.h"
 #include "src/profiledb/database.h"
+#include "src/profiledb/fleet.h"
 #include "src/support/binary_io.h"
 #include "src/support/crc32.h"
 
@@ -428,6 +429,119 @@ TEST(DeserializeAdversarial, EmptyAndTinyInputsAreErrors) {
   EXPECT_FALSE(DeserializeProfile({}).ok());
   EXPECT_FALSE(DeserializeProfile({0x49}).ok());
   EXPECT_FALSE(DeserializeProfile({0x49, 0x50, 0x43, 0x44}).ok());  // magic only
+}
+
+// ---- Version-4 memory sections ----
+
+// A profile with both axes populated: PC samples plus a data-line axis
+// with every counter kind exercised (all levels, TLB misses, latencies
+// across several histogram buckets, multiple CPUs and 8-byte slots).
+ImageProfile MemRichProfile() {
+  ImageProfile profile = SampleRichProfile();
+  MemoryProfile* mem = profile.mutable_mem();
+  mem->AddAccess(0x10000, MemLevel::kL1, 2, false, 0);
+  mem->AddAccess(0x10008, MemLevel::kL1, 3, false, 1);     // same line, new slot
+  mem->AddAccess(0x10038, MemLevel::kBoard, 40, true, 2);  // same line again
+  mem->AddAccess(0x20040, MemLevel::kDram, 180, true, 0);
+  mem->AddAccess(0x20080, MemLevel::kL2, 21, false, 3);
+  mem->AddAccess(0xfeed0040, MemLevel::kDram, 65000, true, 31);
+  return profile;
+}
+
+TEST(MemorySection, RoundTripIsExact) {
+  ImageProfile original = MemRichProfile();
+  std::vector<uint8_t> bytes = SerializeProfile(original);
+  EXPECT_EQ(bytes[4], 4) << "memory axis must serialize as version 4";
+  Result<ImageProfile> back = DeserializeProfile(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Re-serialization is the equality oracle: both axes are ordered maps,
+  // so identical content means identical bytes.
+  EXPECT_EQ(SerializeProfile(back.value()), bytes);
+  const MemoryProfile& mem = back.value().mem();
+  ASSERT_EQ(mem.num_lines(), 4u);
+  EXPECT_EQ(mem.total_accesses(), 6u);
+  const MemLineCounters& first = mem.lines().at(0x10000);
+  EXPECT_EQ(first.level_counts[static_cast<int>(MemLevel::kL1)], 2u);
+  EXPECT_EQ(first.level_counts[static_cast<int>(MemLevel::kBoard)], 1u);
+  EXPECT_EQ(first.tlb_misses, 1u);
+  EXPECT_EQ(first.latency_sum, 45u);
+  EXPECT_EQ(first.cpu_mask, 0b111u);
+  EXPECT_EQ(first.offset_mask, (1u << 0) | (1u << 1) | (1u << 7));
+}
+
+TEST(MemorySection, EmptyMemoryAxisStaysByteExactVersion3) {
+  // --mem-fraction 0 must leave databases indistinguishable from pre-v4
+  // builds: a profile that never collected a wide record serializes as
+  // version 3, byte for byte.
+  std::vector<uint8_t> bytes = SerializeProfile(SampleRichProfile());
+  EXPECT_EQ(bytes[4], 3);
+  ImageProfile cleared = MemRichProfile();
+  cleared.ClearCounts();
+  for (uint64_t off = 0; off < 64; off += 4) cleared.AddSamples(off, 100 + off);
+  EXPECT_EQ(SerializeProfile(cleared), bytes);
+}
+
+TEST(MemorySection, TruncationAtEveryByteBoundaryIsAnError) {
+  std::vector<uint8_t> bytes = SerializeProfile(MemRichProfile());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DeserializeProfile(prefix).ok()) << "prefix of " << len;
+  }
+  EXPECT_TRUE(DeserializeProfile(bytes).ok());
+}
+
+TEST(MemorySection, EveryOneBitCorruptionIsAnError) {
+  // The CRC trails the whole record, so no single-bit flip anywhere — in
+  // the header, either axis, or the checksum itself — may parse.
+  std::vector<uint8_t> bytes = SerializeProfile(MemRichProfile());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(DeserializeProfile(corrupt).ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(MemorySection, CrossVersionMergeCarriesTheMemoryAxis) {
+  // v3 (no memory axis) merged into v4: the PC counts fold, the memory
+  // axis passes through untouched — and the merge serializes as v4.
+  Result<ImageProfile> v4 = DeserializeProfile(SerializeProfile(MemRichProfile()));
+  ASSERT_TRUE(v4.ok());
+  Result<ImageProfile> v3 = DeserializeProfile(SerializeProfile(SampleRichProfile()));
+  ASSERT_TRUE(v3.ok());
+  ImageProfile merged = v4.value();
+  merged.Merge(v3.value());
+  EXPECT_EQ(merged.SamplesAt(0), 200u);
+  EXPECT_EQ(merged.mem().total_accesses(), 6u);
+  EXPECT_EQ(SerializeProfile(merged)[4], 4);
+  // The mirror-image merge (memory axis arriving from `other`) matches.
+  ImageProfile merged2 = v3.value();
+  merged2.Merge(v4.value());
+  EXPECT_EQ(SerializeProfile(merged2), SerializeProfile(merged));
+}
+
+TEST(MemorySection, FleetMergesMixedVersionShards) {
+  // host_0 collected without memory sampling (v3 on disk), host_1 with it
+  // (v4): the fleet-wide merge-on-read carries host_1's memory axis and
+  // sums both hosts' PC samples.
+  const std::string root = "/tmp/dcpi_crash_test_mixed_fleet";
+  std::filesystem::remove_all(root);
+  auto write_shard = [&](uint32_t id, const ImageProfile& profile) {
+    ProfileDatabase db(root + "/host_" + std::to_string(id));
+    ASSERT_TRUE(db.NewEpoch().ok());
+    ASSERT_TRUE(db.WriteProfile(profile).ok());
+    ASSERT_TRUE(db.SealCurrentEpoch().ok());
+  };
+  write_shard(0, SampleRichProfile());
+  write_shard(1, MemRichProfile());
+  FleetView view(root);
+  ASSERT_EQ(view.num_hosts(), 2u);
+  Result<ImageProfile> merged =
+      view.ReadProfile({0}, "libadversarial.so", EventType::kImiss);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().SamplesAt(0), 200u);
+  EXPECT_EQ(merged.value().mem().total_accesses(), 6u);
+  EXPECT_EQ(merged.value().mem().num_lines(), 4u);
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace
